@@ -1,0 +1,59 @@
+// Ablation: duplicate-avoidance cost as density grows (Algorithm 3.2's
+// Lines 7-10 and 21-29).
+//
+// Sweeps x at fixed n and reports duplicate retries, their share per edge,
+// the deepest wait queue observed, and per-edge message counts — the
+// quantities that determine how much the general algorithm pays over the
+// x = 1 special case.
+#include <iostream>
+
+#include "core/generate.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace pagen;
+  const Cli cli(argc, argv, {"n", "ranks", "seed"});
+  if (cli.help()) {
+    std::cout << cli.usage("ablation_retries") << "\n";
+    return 0;
+  }
+  const NodeId n = cli.get_u64("n", 200000);
+  const int ranks = static_cast<int>(cli.get_u64("ranks", 16));
+  const std::uint64_t seed = cli.get_u64("seed", 12);
+
+  std::cout << "=== Ablation: duplicate retries and queue depth vs x ===\n"
+            << "n=" << fmt_count(n) << " P=" << ranks << " (RRP)\n\n";
+
+  Table t({"x", "edges", "retries", "retries/edge", "max_queue", "msgs/edge",
+           "wall_s"});
+  for (NodeId x : {NodeId{1}, NodeId{2}, NodeId{4}, NodeId{8}, NodeId{16},
+                   NodeId{32}}) {
+    PaConfig cfg{.n = n, .x = x, .p = 0.5, .seed = seed};
+    core::ParallelOptions opt;
+    opt.ranks = ranks;
+    opt.gather_edges = false;
+    Timer timer;
+    const auto result = core::generate(cfg, opt);
+    const double secs = timer.seconds();
+    Count retries = 0, msgs = 0, max_queue = 0;
+    for (const auto& l : result.loads) {
+      retries += l.retries;
+      msgs += l.total_messages();
+      max_queue = std::max(max_queue, l.max_queue_depth);
+    }
+    const auto edges = static_cast<double>(result.total_edges);
+    t.add_row({std::to_string(x), fmt_count(result.total_edges),
+               fmt_count(retries), fmt_f(static_cast<double>(retries) / edges, 4),
+               fmt_count(max_queue), fmt_f(static_cast<double>(msgs) / edges, 2),
+               fmt_f(secs, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nshape: retries stay a tiny per-edge fraction even at high x\n"
+            << "(duplicates need the uniform draw to re-hit one of the same\n"
+            << "x endpoints); the deepest wait queue tracks the most popular\n"
+            << "unresolved hub, not n; messages/edge stays ~2(1-p).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 7(a-d): per-processor node counts, outgoing request messages,
+// incoming request messages, and total load, for UCP, LCP and RRP.
+//
+// Paper setting: n = 1e8, x = 10, P = 160.  Default here: n = 4e5, x = 10,
+// P = 160 (same rank count as the paper; the distributions' shapes are size
+// independent).
+#include <array>
+#include <iostream>
+#include <vector>
+
+#include "analysis/load_balance.h"
+#include "core/generate.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using pagen::analysis::LoadMetric;
+
+void print_section(const char* title, LoadMetric metric,
+                   const std::array<pagen::core::LoadVector, 3>& loads,
+                   int ranks, int step) {
+  using namespace pagen;
+  std::cout << "\n--- " << title << " ---\n";
+  std::array<std::vector<double>, 3> series;
+  for (int s = 0; s < 3; ++s) series[s] = analysis::extract(loads[s], metric);
+
+  Table t({"rank", "UCP", "LCP", "RRP"});
+  for (int r = 0; r < ranks; r += step) {
+    t.add_row({std::to_string(r), fmt_count(static_cast<Count>(series[0][r])),
+               fmt_count(static_cast<Count>(series[1][r])),
+               fmt_count(static_cast<Count>(series[2][r]))});
+  }
+  t.print(std::cout);
+
+  Table s({"scheme", "min", "mean", "max", "imbalance(max/mean)"});
+  const char* names[3] = {"UCP", "LCP", "RRP"};
+  for (int i = 0; i < 3; ++i) {
+    const auto sum = analysis::summarize_metric(loads[i], metric);
+    s.add_row({names[i], fmt_count(static_cast<Count>(sum.summary.min)),
+               fmt_count(static_cast<Count>(sum.summary.mean)),
+               fmt_count(static_cast<Count>(sum.summary.max)),
+               fmt_f(sum.imbalance, 2)});
+  }
+  s.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pagen;
+  const Cli cli(argc, argv, {"n", "x", "ranks", "seed", "step"});
+  if (cli.help()) {
+    std::cout << cli.usage("fig7_load_balance") << "\n";
+    return 0;
+  }
+  PaConfig cfg;
+  cfg.n = cli.get_u64("n", 400000);
+  cfg.x = cli.get_u64("x", 10);
+  cfg.seed = cli.get_u64("seed", 7);
+  const int ranks = static_cast<int>(cli.get_u64("ranks", 160));
+  const int step = static_cast<int>(cli.get_u64("step", 16));
+
+  std::cout << "=== Figure 7: node and message distribution across ranks ===\n"
+            << "n=" << fmt_count(cfg.n) << " x=" << cfg.x << " P=" << ranks
+            << " (paper: n=1e8, x=10, P=160)\n";
+
+  std::array<core::LoadVector, 3> loads;
+  const partition::Scheme schemes[3] = {partition::Scheme::kUcp,
+                                        partition::Scheme::kLcp,
+                                        partition::Scheme::kRrp};
+  for (int i = 0; i < 3; ++i) {
+    core::ParallelOptions opt;
+    opt.ranks = ranks;
+    opt.scheme = schemes[i];
+    opt.gather_edges = false;
+    loads[static_cast<std::size_t>(i)] = core::generate(cfg, opt).loads;
+  }
+
+  print_section("Fig 7(a): nodes per processor", LoadMetric::kNodes, loads,
+                ranks, step);
+  print_section("Fig 7(b): outgoing request messages",
+                LoadMetric::kRequestsSent, loads, ranks, step);
+  print_section("Fig 7(c): incoming request messages",
+                LoadMetric::kRequestsReceived, loads, ranks, step);
+  print_section("Fig 7(d): total load (nodes + messages)",
+                LoadMetric::kTotalLoad, loads, ranks, step);
+
+  std::cout
+      << "\npaper shape: (a) UCP/RRP flat, LCP linearly increasing;\n"
+      << "(b) outgoing ∝ nodes, rank 0 sends none under CP schemes;\n"
+      << "(c) incoming skewed to low ranks under UCP/LCP (Lemma 3.4), flat\n"
+      << "under RRP; (d) RRP nearly perfectly balanced, LCP good, UCP poor.\n";
+  return 0;
+}

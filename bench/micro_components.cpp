@@ -1,0 +1,136 @@
+// Component micro-benchmarks (google-benchmark): RNG draws, mailbox
+// throughput, send-buffer aggregation, partition owner lookups, and the
+// sequential generators. These are the unit costs behind the cost model of
+// scaling_model.h.
+#include <benchmark/benchmark.h>
+
+#include "baseline/ba_batagelj_brandes.h"
+#include "baseline/copy_model_seq.h"
+#include "mps/mailbox.h"
+#include "partition/partition.h"
+#include "rng/counter_rng.h"
+#include "rng/xoshiro.h"
+#include "util/harmonic.h"
+
+namespace {
+
+using namespace pagen;
+
+void BM_CounterRngRaw(benchmark::State& state) {
+  const rng::CounterRng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.raw({1, i++, 2, 3}));
+  }
+}
+BENCHMARK(BM_CounterRngRaw);
+
+void BM_CounterRngBelow(benchmark::State& state) {
+  const rng::CounterRng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000003, {1, i++, 2, 3}));
+  }
+}
+BENCHMARK(BM_CounterRngBelow);
+
+void BM_Xoshiro(benchmark::State& state) {
+  rng::Xoshiro256pp rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_HarmonicTabulated(benchmark::State& state) {
+  const Harmonic h(4096);
+  std::uint64_t k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(k % 4000 + 1));
+    ++k;
+  }
+}
+BENCHMARK(BM_HarmonicTabulated);
+
+void BM_HarmonicAsymptotic(benchmark::State& state) {
+  const Harmonic h(64);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(1000000 + k++));
+  }
+}
+BENCHMARK(BM_HarmonicAsymptotic);
+
+void BM_MailboxPushDrain(benchmark::State& state) {
+  mps::Mailbox box;
+  std::vector<mps::Envelope> out;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      mps::Envelope e;
+      e.src = 0;
+      e.tag = 1;
+      box.push(std::move(e));
+    }
+    out.clear();
+    box.try_drain(out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MailboxPushDrain)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_PartitionOwner(benchmark::State& state) {
+  const auto scheme = static_cast<partition::Scheme>(state.range(0));
+  const auto part = partition::make_partition(scheme, 100000000, 768);
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part->owner(u));
+    u = (u + 982451653) % 100000000;  // jump around pseudo-randomly
+  }
+}
+BENCHMARK(BM_PartitionOwner)
+    ->Arg(static_cast<int>(partition::Scheme::kUcp))
+    ->Arg(static_cast<int>(partition::Scheme::kLcp))
+    ->Arg(static_cast<int>(partition::Scheme::kRrp));
+
+void BM_SeqCopyModelX1(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const PaConfig cfg{.n = n, .x = 1, .p = 0.5, .seed = seed++};
+    benchmark::DoNotOptimize(baseline::copy_model_targets(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SeqCopyModelX1)->Arg(100000);
+
+void BM_SeqCopyModelGeneral(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const PaConfig cfg{.n = n, .x = 4, .p = 0.5, .seed = seed++};
+    benchmark::DoNotOptimize(baseline::copy_model_general(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_SeqCopyModelGeneral)->Arg(100000);
+
+void BM_BatageljBrandesBa(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const PaConfig cfg{.n = n, .x = 4, .p = 0.5, .seed = seed++};
+    benchmark::DoNotOptimize(baseline::ba_batagelj_brandes(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_BatageljBrandesBa)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Section 4.3 claim: "We have implemented the sequential version of our
+// algorithm in C++. This sequential implementation outperforms the best
+// available implementation of BA model given in NetworkX."
+//
+// NetworkX's generator is the Batagelj–Brandes repetition-list algorithm;
+// we compare the naive Θ(n²) scanner, the native Batagelj–Brandes BA, the
+// sequential copy model (the paper's T_s reference), and the parallel
+// algorithm at P = 8 on the same workload.
+#include <iostream>
+
+#include "baseline/ba_batagelj_brandes.h"
+#include "baseline/ba_naive.h"
+#include "baseline/copy_model_seq.h"
+#include "core/generate.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace pagen;
+  const Cli cli(argc, argv, {"n", "x", "naive_n", "seed"});
+  if (cli.help()) {
+    std::cout << cli.usage("tab_seq_baselines") << "\n";
+    return 0;
+  }
+  PaConfig cfg;
+  cfg.n = cli.get_u64("n", 1000000);
+  cfg.x = cli.get_u64("x", 4);
+  cfg.seed = cli.get_u64("seed", 43);
+  PaConfig naive_cfg = cfg;
+  naive_cfg.n = cli.get_u64("naive_n", 20000);
+
+  std::cout << "=== Sequential baselines (Sec. 4.3 comparison) ===\n"
+            << "workload: x=" << cfg.x << ", n=" << fmt_count(cfg.n)
+            << " (naive at n=" << fmt_count(naive_cfg.n) << ")\n\n";
+
+  Table t({"generator", "n", "edges", "seconds", "edges/sec"});
+  auto report = [&](const char* name, NodeId n, Count edges, double secs) {
+    t.add_row({name, fmt_count(n), fmt_count(edges), fmt_f(secs, 3),
+               fmt_count(static_cast<Count>(static_cast<double>(edges) / secs))});
+  };
+
+  {
+    Timer timer;
+    const auto edges = baseline::ba_naive(naive_cfg);
+    report("naive BA (Theta(n^2))", naive_cfg.n, edges.size(),
+           timer.seconds());
+  }
+  {
+    Timer timer;
+    const auto edges = baseline::ba_batagelj_brandes(cfg);
+    report("Batagelj-Brandes BA (NetworkX's algorithm)", cfg.n, edges.size(),
+           timer.seconds());
+  }
+  {
+    Timer timer;
+    const auto result = baseline::copy_model_general(cfg);
+    report("sequential copy model (this paper)", cfg.n, result.edges.size(),
+           timer.seconds());
+  }
+  {
+    Timer timer;
+    core::ParallelOptions opt;
+    opt.ranks = 8;
+    opt.gather_edges = false;
+    const auto result = core::generate(cfg, opt);
+    report("parallel copy model, P=8 (oversubscribed)", cfg.n,
+           result.total_edges, timer.seconds());
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper shape: the copy-model sequential generator is\n"
+            << "competitive with (and in the paper's setup faster than) the\n"
+            << "best repetition-list BA implementation, and both dwarf the\n"
+            << "naive scanner, whose quadratic cost forbids large n.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ensemble study: structural statistics with error bars over independent
+// replicas — how a network scientist actually reports results from a
+// random-graph model ("a smaller network may not exhibit the same
+// behavior": the paper's motivation for studying size effects carefully).
+//
+//   ./ensemble_study --n=50000 --x=4 --replicas=10 --ranks=8
+#include <iostream>
+
+#include "analysis/ensemble.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace pagen;
+  const Cli cli(argc, argv, {"n", "x", "p", "replicas", "ranks", "seed"});
+  if (cli.help()) {
+    std::cout << cli.usage("ensemble_study") << "\n";
+    return 0;
+  }
+  PaConfig cfg;
+  cfg.n = cli.get_u64("n", 50000);
+  cfg.x = cli.get_u64("x", 4);
+  cfg.p = cli.get_double("p", 0.5);
+  cfg.seed = cli.get_u64("seed", 1000);
+  core::ParallelOptions opt;
+  opt.ranks = static_cast<int>(cli.get_u64("ranks", 8));
+  const int replicas = static_cast<int>(cli.get_u64("replicas", 8));
+
+  std::cout << "== ensemble of " << replicas << " PA networks (n="
+            << fmt_count(cfg.n) << ", x=" << cfg.x << ", p=" << cfg.p
+            << ") ==\n\n";
+  Timer timer;
+  const auto result = analysis::run_ensemble(cfg, opt, replicas);
+  std::cout << "generated + analyzed in " << fmt_f(timer.seconds(), 2)
+            << " s\n\n";
+
+  Table per({"replica seed", "edges", "hub degree", "gamma", "assortativity"});
+  for (const auto& r : result.replicas) {
+    per.add_row({std::to_string(r.seed), fmt_count(r.edges),
+                 fmt_count(r.max_degree), fmt_f(r.gamma, 2),
+                 fmt_f(r.assortativity, 3)});
+  }
+  per.print(std::cout);
+
+  Table agg({"statistic", "mean", "stddev", "min", "max"});
+  auto row = [&](const char* name, const Summary& s, int digits) {
+    agg.add_row({name, fmt_f(s.mean, digits), fmt_f(s.stddev, digits),
+                 fmt_f(s.min, digits), fmt_f(s.max, digits)});
+  };
+  std::cout << "\n";
+  row("hub degree", result.max_degree, 0);
+  row("gamma (MLE)", result.gamma, 2);
+  row("assortativity", result.assortativity, 3);
+  agg.print(std::cout);
+
+  std::cout << "\nthe exponent is tight across replicas (the model, not the\n"
+            << "seed, sets the tail); the hub degree fluctuates — single-run\n"
+            << "hub sizes should never be reported without error bars.\n";
+  return 0;
+}

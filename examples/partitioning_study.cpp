@@ -1,0 +1,63 @@
+// Partitioning study: why the scheme choice matters (Section 3.5 in
+// practice, at example scale).
+//
+// Runs the same generation under UCP, LCP and RRP and reports how evenly
+// nodes, messages and total load spread across ranks — then says which
+// scheme to pick for which downstream use (the paper: consecutive schemes
+// when analysis code wants contiguous node ranges, RRP when pure balance
+// wins).
+#include <iostream>
+
+#include "analysis/load_balance.h"
+#include "core/generate.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pagen;
+  const Cli cli(argc, argv, {"n", "x", "ranks", "seed"});
+  if (cli.help()) {
+    std::cout << cli.usage("partitioning_study") << "\n";
+    return 0;
+  }
+  PaConfig cfg;
+  cfg.n = cli.get_u64("n", 200000);
+  cfg.x = cli.get_u64("x", 6);
+  cfg.seed = cli.get_u64("seed", 35);
+  const int ranks = static_cast<int>(cli.get_u64("ranks", 16));
+
+  std::cout << "== partitioning schemes on n=" << fmt_count(cfg.n)
+            << ", x=" << cfg.x << ", P=" << ranks << " ==\n\n";
+
+  Table t({"scheme", "nodes max/mean", "msgs max/mean", "load max/mean",
+           "wall_s"});
+  for (auto scheme : {partition::Scheme::kUcp, partition::Scheme::kLcp,
+                      partition::Scheme::kRrp}) {
+    core::ParallelOptions opt;
+    opt.ranks = ranks;
+    opt.scheme = scheme;
+    opt.gather_edges = false;
+    const auto result = core::generate(cfg, opt);
+    const auto nodes =
+        analysis::summarize_metric(result.loads, analysis::LoadMetric::kNodes);
+    const auto msgs = analysis::summarize_metric(
+        result.loads, analysis::LoadMetric::kTotalMessages);
+    const auto load = analysis::summarize_metric(
+        result.loads, analysis::LoadMetric::kTotalLoad);
+    t.add_row({partition::to_string(scheme), fmt_f(nodes.imbalance, 2),
+               fmt_f(msgs.imbalance, 2), fmt_f(load.imbalance, 2),
+               fmt_f(result.wall_seconds, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nreading the table (imbalance = max/mean; 1.00 is perfect):\n"
+      << " * UCP: equal node counts but rank 0 drowns in incoming requests\n"
+      << "   for the old, high-degree nodes -> worst total-load imbalance.\n"
+      << " * LCP: sizes blocks by the Eq. 10 load model -> good balance\n"
+      << "   while keeping each rank's nodes consecutive (nice for I/O and\n"
+      << "   analysis kernels that want contiguous ranges).\n"
+      << " * RRP: interleaves labels -> near-perfect balance; choose it\n"
+      << "   when nothing downstream needs consecutive node ranges.\n";
+  return 0;
+}

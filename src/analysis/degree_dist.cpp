@@ -1,0 +1,48 @@
+#include "analysis/degree_dist.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace pagen::analysis {
+
+std::vector<DegreePoint> degree_distribution(std::span<const Count> degrees) {
+  std::map<Count, Count> counts;
+  for (Count d : degrees) ++counts[d];
+  std::vector<DegreePoint> out;
+  out.reserve(counts.size());
+  for (const auto& [degree, count] : counts) out.push_back({degree, count});
+  return out;
+}
+
+std::vector<CcdfPoint> degree_ccdf(std::span<const Count> degrees) {
+  const auto dist = degree_distribution(degrees);
+  std::vector<CcdfPoint> out;
+  out.reserve(dist.size());
+  const auto n = static_cast<double>(degrees.size());
+  PAGEN_CHECK(!degrees.empty());
+  Count at_least = degrees.size();
+  for (const DegreePoint& p : dist) {
+    out.push_back({p.degree, static_cast<double>(at_least) / n});
+    at_least -= p.count;
+  }
+  return out;
+}
+
+std::vector<LogBinnedPoint> log_binned_pdf(std::span<const Count> degrees,
+                                           double bin_base) {
+  LogHistogram hist(bin_base);
+  for (Count d : degrees) {
+    if (d > 0) hist.add(static_cast<double>(d));
+  }
+  std::vector<LogBinnedPoint> out;
+  const auto total = static_cast<double>(hist.total());
+  for (const HistBin& bin : hist.bins()) {
+    out.push_back({bin.center,
+                   static_cast<double>(bin.count) / (bin.width * total)});
+  }
+  return out;
+}
+
+}  // namespace pagen::analysis

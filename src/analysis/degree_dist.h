@@ -1,0 +1,40 @@
+// Degree-distribution extraction (Fig. 4 of the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace pagen::analysis {
+
+/// One (degree, count) point of the empirical degree PDF.
+struct DegreePoint {
+  Count degree = 0;
+  Count count = 0;
+};
+
+/// Exact distribution: all distinct degrees with their node counts,
+/// ascending. Degree-0 nodes are included (relevant for ER substrates).
+[[nodiscard]] std::vector<DegreePoint> degree_distribution(
+    std::span<const Count> degrees);
+
+/// Complementary CDF point: fraction of nodes with degree >= `degree`.
+struct CcdfPoint {
+  Count degree = 0;
+  double fraction = 0.0;
+};
+[[nodiscard]] std::vector<CcdfPoint> degree_ccdf(std::span<const Count> degrees);
+
+/// Log-binned PDF for plotting heavy tails: each bin's count is divided by
+/// its width and by the node total, yielding a density comparable across
+/// bins (the standard presentation of the paper's log-log Figure 4).
+struct LogBinnedPoint {
+  double degree = 0.0;   ///< geometric bin center
+  double density = 0.0;  ///< normalized frequency density
+};
+[[nodiscard]] std::vector<LogBinnedPoint> log_binned_pdf(
+    std::span<const Count> degrees, double bin_base = 1.5);
+
+}  // namespace pagen::analysis

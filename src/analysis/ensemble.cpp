@@ -1,0 +1,55 @@
+#include "analysis/ensemble.h"
+
+#include <algorithm>
+
+#include "analysis/powerlaw_fit.h"
+#include "core/generate.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/metrics.h"
+#include "util/error.h"
+
+namespace pagen::analysis {
+
+EnsembleResult run_ensemble(const PaConfig& config,
+                            const core::ParallelOptions& options,
+                            int replicas) {
+  PAGEN_CHECK(replicas >= 1);
+  EnsembleResult result;
+  result.replicas.reserve(static_cast<std::size_t>(replicas));
+
+  std::vector<double> hubs, gammas, assorts;
+  for (int r = 0; r < replicas; ++r) {
+    PaConfig cfg = config;
+    cfg.seed = config.seed + static_cast<std::uint64_t>(r);
+    core::ParallelOptions opt = options;
+    const auto gen = core::generate(cfg, opt);
+
+    ReplicaStats stats;
+    stats.seed = cfg.seed;
+    stats.edges = gen.total_edges;
+
+    const auto deg = graph::degree_sequence(gen.edges, cfg.n);
+    stats.max_degree = *std::max_element(deg.begin(), deg.end());
+    stats.components = graph::connected_components(gen.edges, cfg.n);
+    try {
+      stats.gamma = fit_gamma_mle(deg, std::max<Count>(cfg.x, 2)).gamma;
+      gammas.push_back(stats.gamma);
+    } catch (const CheckError&) {
+      stats.gamma = 0.0;  // tail too small at this replica size
+    }
+    const graph::CsrGraph g(gen.edges, cfg.n);
+    stats.assortativity = graph::degree_assortativity(g);
+
+    hubs.push_back(static_cast<double>(stats.max_degree));
+    assorts.push_back(stats.assortativity);
+    result.replicas.push_back(stats);
+  }
+
+  result.max_degree = summarize(hubs);
+  result.gamma = summarize(gammas);
+  result.assortativity = summarize(assorts);
+  return result;
+}
+
+}  // namespace pagen::analysis

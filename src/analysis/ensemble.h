@@ -1,0 +1,42 @@
+// Ensemble generation: statistics over independent replicas.
+//
+// A single generated network is one sample from the model; empirical
+// network science reports ensemble means with error bars. This runner
+// generates R replicas (seeds derived from a base seed), computes per-
+// replica structural statistics, and summarizes them. Replicas run one
+// after another, each on its own rank world.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/pa_config.h"
+#include "core/options.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace pagen::analysis {
+
+/// Per-replica statistics collected by the ensemble runner.
+struct ReplicaStats {
+  std::uint64_t seed = 0;
+  Count edges = 0;
+  Count max_degree = 0;
+  double gamma = 0.0;        ///< MLE exponent at d_min = x (0 if fit failed)
+  double assortativity = 0.0;
+  Count components = 0;
+};
+
+struct EnsembleResult {
+  std::vector<ReplicaStats> replicas;
+  Summary max_degree;      ///< across replicas
+  Summary gamma;           ///< across replicas with a successful fit
+  Summary assortativity;
+};
+
+/// Generate `replicas` networks with seeds base_seed, base_seed+1, ... and
+/// summarize their structure. config.seed is used as the base seed.
+[[nodiscard]] EnsembleResult run_ensemble(const PaConfig& config,
+                                          const core::ParallelOptions& options,
+                                          int replicas);
+
+}  // namespace pagen::analysis

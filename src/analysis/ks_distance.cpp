@@ -1,0 +1,43 @@
+#include "analysis/ks_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pagen::analysis {
+
+double ks_distance(std::span<const Count> degrees_a,
+                   std::span<const Count> degrees_b) {
+  PAGEN_CHECK(!degrees_a.empty() && !degrees_b.empty());
+  std::vector<Count> a(degrees_a.begin(), degrees_a.end());
+  std::vector<Count> b(degrees_b.begin(), degrees_b.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  double sup = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Count d = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == d) ++i;
+    while (j < b.size() && b[j] == d) ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    sup = std::max(sup, std::abs(fa - fb));
+  }
+  return sup;
+}
+
+double ks_critical_value(std::size_t na, std::size_t nb, double alpha) {
+  PAGEN_CHECK(na > 0 && nb > 0);
+  PAGEN_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double c = std::sqrt(-0.5 * std::log(alpha / 2.0));
+  const auto dna = static_cast<double>(na);
+  const auto dnb = static_cast<double>(nb);
+  return c * std::sqrt((dna + dnb) / (dna * dnb));
+}
+
+}  // namespace pagen::analysis

@@ -1,0 +1,26 @@
+// Kolmogorov–Smirnov distance between degree distributions.
+//
+// Used to quantify how closely an approximate generator (e.g. the
+// Yoo–Henderson-style comparator in core/approx_pa.h) tracks the exact
+// preferential-attachment distribution — the paper's criticism of the
+// approximate prior work is precisely that its accuracy drifts with its
+// control parameters.
+#pragma once
+
+#include <span>
+
+#include "util/types.h"
+
+namespace pagen::analysis {
+
+/// sup_d | F_a(d) - F_b(d) | over the empirical degree CDFs of the two
+/// samples. Range [0, 1]; 0 means identical empirical distributions.
+[[nodiscard]] double ks_distance(std::span<const Count> degrees_a,
+                                 std::span<const Count> degrees_b);
+
+/// Two-sample KS critical value at significance alpha (asymptotic):
+/// c(alpha) * sqrt((na + nb) / (na * nb)).
+[[nodiscard]] double ks_critical_value(std::size_t na, std::size_t nb,
+                                       double alpha = 0.01);
+
+}  // namespace pagen::analysis

@@ -1,0 +1,72 @@
+#include "analysis/load_balance.h"
+
+#include "util/error.h"
+
+namespace pagen::analysis {
+
+std::string to_string(LoadMetric m) {
+  switch (m) {
+    case LoadMetric::kNodes:
+      return "nodes";
+    case LoadMetric::kRequestsSent:
+      return "requests_sent";
+    case LoadMetric::kRequestsReceived:
+      return "requests_received";
+    case LoadMetric::kResolvedSent:
+      return "resolved_sent";
+    case LoadMetric::kResolvedReceived:
+      return "resolved_received";
+    case LoadMetric::kTotalMessages:
+      return "total_messages";
+    case LoadMetric::kTotalLoad:
+      return "total_load";
+  }
+  PAGEN_CHECK(false);
+  return {};
+}
+
+std::vector<double> extract(std::span<const core::RankLoad> loads,
+                            LoadMetric metric) {
+  std::vector<double> out;
+  out.reserve(loads.size());
+  for (const core::RankLoad& l : loads) {
+    Count v = 0;
+    switch (metric) {
+      case LoadMetric::kNodes:
+        v = l.nodes;
+        break;
+      case LoadMetric::kRequestsSent:
+        v = l.requests_sent;
+        break;
+      case LoadMetric::kRequestsReceived:
+        v = l.requests_received;
+        break;
+      case LoadMetric::kResolvedSent:
+        v = l.resolved_sent;
+        break;
+      case LoadMetric::kResolvedReceived:
+        v = l.resolved_received;
+        break;
+      case LoadMetric::kTotalMessages:
+        v = l.total_messages();
+        break;
+      case LoadMetric::kTotalLoad:
+        v = l.total_load();
+        break;
+    }
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+LoadSummary summarize_metric(std::span<const core::RankLoad> loads,
+                             LoadMetric metric) {
+  const auto values = extract(loads, metric);
+  LoadSummary s;
+  s.metric = metric;
+  s.summary = summarize(values);
+  s.imbalance = imbalance(values);
+  return s;
+}
+
+}  // namespace pagen::analysis

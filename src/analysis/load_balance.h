@@ -1,0 +1,39 @@
+// Load-balance summaries over per-rank load vectors (Fig. 7 / Section 4.6).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/load_stats.h"
+#include "util/stats.h"
+
+namespace pagen::analysis {
+
+/// Extract one metric across ranks as doubles (for Summary/imbalance).
+enum class LoadMetric {
+  kNodes,
+  kRequestsSent,
+  kRequestsReceived,
+  kResolvedSent,
+  kResolvedReceived,
+  kTotalMessages,
+  kTotalLoad,
+};
+
+[[nodiscard]] std::string to_string(LoadMetric m);
+
+[[nodiscard]] std::vector<double> extract(
+    std::span<const core::RankLoad> loads, LoadMetric metric);
+
+/// Summary + imbalance (max/mean) of one metric across ranks.
+struct LoadSummary {
+  LoadMetric metric = LoadMetric::kTotalLoad;
+  Summary summary;
+  double imbalance = 0.0;
+};
+
+[[nodiscard]] LoadSummary summarize_metric(
+    std::span<const core::RankLoad> loads, LoadMetric metric);
+
+}  // namespace pagen::analysis

@@ -1,0 +1,151 @@
+#include "analysis/powerlaw_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/degree_dist.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pagen::analysis {
+
+double hurwitz_zeta(double s, Count a) {
+  PAGEN_CHECK_MSG(s > 1.0, "hurwitz_zeta needs s > 1");
+  PAGEN_CHECK(a >= 1);
+  // Direct sum for the head, Euler–Maclaurin for the tail from M:
+  //   sum_{k>=M} k^-s ≈ M^{1-s}/(s-1) + M^-s/2 + s M^{-s-1}/12
+  const Count m = a + 64;
+  double head = 0.0;
+  for (Count k = a; k < m; ++k) {
+    head += std::pow(static_cast<double>(k), -s);
+  }
+  const auto dm = static_cast<double>(m);
+  const double tail = std::pow(dm, 1.0 - s) / (s - 1.0) +
+                      0.5 * std::pow(dm, -s) +
+                      s * std::pow(dm, -s - 1.0) / 12.0;
+  return head + tail;
+}
+
+PowerLawFit fit_gamma_mle(std::span<const Count> degrees, Count d_min) {
+  PAGEN_CHECK(d_min >= 1);
+  double sum_log = 0.0;
+  Count samples = 0;
+  for (Count d : degrees) {
+    if (d >= d_min) {
+      sum_log += std::log(static_cast<double>(d));
+      ++samples;
+    }
+  }
+  PAGEN_CHECK_MSG(samples >= 10, "too few tail samples for an MLE fit");
+
+  const auto nll = [&](double gamma) {
+    // Negative log-likelihood per sample (constants dropped).
+    return gamma * sum_log / static_cast<double>(samples) +
+           std::log(hurwitz_zeta(gamma, d_min));
+  };
+
+  // Golden-section search over a generous exponent range.
+  constexpr double kPhi = 0.6180339887498949;
+  double lo = 1.05, hi = 8.0;
+  double x1 = hi - kPhi * (hi - lo);
+  double x2 = lo + kPhi * (hi - lo);
+  double f1 = nll(x1), f2 = nll(x2);
+  for (int iter = 0; iter < 120; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kPhi * (hi - lo);
+      f1 = nll(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kPhi * (hi - lo);
+      f2 = nll(x2);
+    }
+  }
+
+  PowerLawFit fit;
+  fit.gamma = 0.5 * (lo + hi);
+  fit.d_min = d_min;
+  fit.samples = samples;
+  return fit;
+}
+
+AutoFit fit_gamma_auto(std::span<const Count> degrees,
+                       std::size_t max_candidates) {
+  PAGEN_CHECK(max_candidates >= 1);
+  // Candidate d_min values: the smallest distinct positive degrees.
+  std::vector<Count> distinct;
+  {
+    std::vector<Count> sorted(degrees.begin(), degrees.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (Count d : sorted) {
+      if (d >= 1 && (distinct.empty() || distinct.back() != d)) {
+        distinct.push_back(d);
+      }
+    }
+  }
+  PAGEN_CHECK_MSG(distinct.size() >= 2, "degenerate degree sequence");
+  if (distinct.size() > max_candidates) distinct.resize(max_candidates);
+
+  AutoFit best;
+  for (Count d_min : distinct) {
+    // Tail sample and its empirical CCDF over distinct tail degrees.
+    std::vector<Count> tail;
+    for (Count d : degrees) {
+      if (d >= d_min) tail.push_back(d);
+    }
+    if (tail.size() < 50) break;  // tails get shorter as d_min grows
+    PowerLawFit fit;
+    try {
+      fit = fit_gamma_mle(tail, d_min);
+    } catch (const CheckError&) {
+      break;
+    }
+    std::sort(tail.begin(), tail.end());
+    const double z_min = hurwitz_zeta(fit.gamma, d_min);
+    double ks = 0.0;
+    std::size_t i = 0;
+    while (i < tail.size()) {
+      const Count d = tail[i];
+      while (i < tail.size() && tail[i] == d) ++i;
+      // Empirical and model P(D < d + 1) over the tail.
+      const double empirical =
+          static_cast<double>(i) / static_cast<double>(tail.size());
+      const double model = 1.0 - hurwitz_zeta(fit.gamma, d + 1) / z_min;
+      ks = std::max(ks, std::abs(empirical - model));
+    }
+    if (ks < best.ks) {
+      best.ks = ks;
+      best.fit = fit;
+    }
+  }
+  PAGEN_CHECK_MSG(best.fit.samples > 0, "no candidate d_min admitted a fit");
+  return best;
+}
+
+PowerLawFit fit_gamma_regression(std::span<const Count> degrees, Count d_min,
+                                 double bin_base) {
+  const auto pdf = log_binned_pdf(degrees, bin_base);
+  std::vector<double> xs, ys;
+  for (const LogBinnedPoint& p : pdf) {
+    if (p.degree >= static_cast<double>(d_min) && p.density > 0.0) {
+      xs.push_back(std::log(p.degree));
+      ys.push_back(std::log(p.density));
+    }
+  }
+  PAGEN_CHECK_MSG(xs.size() >= 3, "too few log-binned points for regression");
+  const LinearFit lf = linear_fit(xs, ys);
+
+  PowerLawFit fit;
+  fit.gamma = -lf.slope;
+  fit.d_min = d_min;
+  fit.samples = xs.size();
+  fit.r_squared = lf.r_squared;
+  return fit;
+}
+
+}  // namespace pagen::analysis

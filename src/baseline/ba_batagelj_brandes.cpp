@@ -1,0 +1,48 @@
+#include "baseline/ba_batagelj_brandes.h"
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+
+graph::EdgeList ba_batagelj_brandes(const PaConfig& config) {
+  const NodeId n = config.n;
+  const NodeId x = std::max<NodeId>(config.x, 1);
+  PAGEN_CHECK(n > x);
+  rng::Xoshiro256pp rng(config.seed);
+
+  graph::EdgeList edges;
+  edges.reserve(expected_edge_count(config));
+  // Repetition list: node id appears once per unit of degree.
+  std::vector<NodeId> repeated;
+  repeated.reserve(2 * expected_edge_count(config));
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    edges.push_back({u, v});
+    repeated.push_back(u);
+    repeated.push_back(v);
+  };
+
+  if (x == 1) {
+    add_edge(1, 0);
+  } else {
+    for (NodeId i = 0; i < x; ++i) {
+      for (NodeId j = i + 1; j < x; ++j) add_edge(j, i);
+    }
+  }
+
+  std::vector<NodeId> chosen;
+  for (NodeId t = (x == 1 ? NodeId{2} : x); t < n; ++t) {
+    chosen.clear();
+    while (chosen.size() < x) {
+      const NodeId v = repeated[rng.below(repeated.size())];
+      bool dup = false;
+      for (NodeId c : chosen) dup = dup || (c == v);
+      if (!dup) chosen.push_back(v);
+    }
+    for (NodeId v : chosen) add_edge(t, v);
+  }
+  return edges;
+}
+
+}  // namespace pagen::baseline

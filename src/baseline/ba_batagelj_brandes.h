@@ -1,0 +1,18 @@
+// Batagelj–Brandes O(m) Barabási–Albert generator (Phys. Rev. E 71, 2005).
+//
+// The efficient sequential algorithm the paper cites as the state of the
+// art (and the algorithm behind NetworkX's generator): keep a repetition
+// list in which every node appears once per unit of degree; preferential
+// attachment is then a uniform pick from the list.
+#pragma once
+
+#include "baseline/pa_config.h"
+#include "graph/edge_list.h"
+
+namespace pagen::baseline {
+
+/// Generate a BA network with the repetition-list method. O(m) time and
+/// memory; the comparison target of bench/tab_seq_baselines.
+[[nodiscard]] graph::EdgeList ba_batagelj_brandes(const PaConfig& config);
+
+}  // namespace pagen::baseline

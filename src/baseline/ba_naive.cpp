@@ -1,0 +1,55 @@
+#include "baseline/ba_naive.h"
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+
+graph::EdgeList ba_naive(const PaConfig& config) {
+  const NodeId n = config.n;
+  const NodeId x = std::max<NodeId>(config.x, 1);
+  PAGEN_CHECK(n > x);
+  rng::Xoshiro256pp rng(config.seed);
+
+  graph::EdgeList edges;
+  edges.reserve(expected_edge_count(config));
+  std::vector<Count> degree(n, 0);
+  Count total_degree = 0;
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    edges.push_back({u, v});
+    ++degree[u];
+    ++degree[v];
+    total_degree += 2;
+  };
+
+  // Initial clique (a single bootstrap edge when x = 1).
+  if (x == 1) {
+    add_edge(1, 0);
+  } else {
+    for (NodeId i = 0; i < x; ++i) {
+      for (NodeId j = i + 1; j < x; ++j) add_edge(j, i);
+    }
+  }
+
+  std::vector<NodeId> chosen;
+  for (NodeId t = (x == 1 ? NodeId{2} : x); t < n; ++t) {
+    chosen.clear();
+    while (chosen.size() < x) {
+      // Degree-proportional pick by linear scan of cumulative degree.
+      Count r = rng.below(total_degree);
+      NodeId v = 0;
+      while (r >= degree[v]) {
+        r -= degree[v];
+        ++v;
+      }
+      bool dup = false;
+      for (NodeId c : chosen) dup = dup || (c == v);
+      if (!dup) chosen.push_back(v);
+    }
+    for (NodeId v : chosen) add_edge(t, v);
+  }
+  return edges;
+}
+
+}  // namespace pagen::baseline

@@ -1,0 +1,20 @@
+// Naive Θ(n²) Barabási–Albert generator (Section 3.1's strawman).
+//
+// Maintains the degree array and finds each preferentially-attached target
+// by a linear scan over cumulative degrees.  Exists as the motivating
+// baseline for the sequential-algorithms benchmark (tab_seq_baselines) and
+// as an independent implementation of the BA distribution for statistical
+// cross-checks at small n.
+#pragma once
+
+#include "baseline/pa_config.h"
+#include "graph/edge_list.h"
+
+namespace pagen::baseline {
+
+/// Generate a BA network by direct degree-proportional sampling. Quadratic;
+/// intended for n up to ~1e5. Uses a stateful xoshiro stream seeded from
+/// config.seed (counter-determinism is not needed for a strawman).
+[[nodiscard]] graph::EdgeList ba_naive(const PaConfig& config);
+
+}  // namespace pagen::baseline

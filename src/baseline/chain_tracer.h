@@ -1,0 +1,45 @@
+// Selection-chain and dependency-chain tracing (Section 3.4).
+//
+// For the x = 1 copy model the chains are fully determined by the per-node
+// draws (k_t, coin_t); this tracer reconstructs them without running the
+// message-passing algorithm, enabling the empirical validation of
+// Lemma 3.1 (Pr{i in S_t} = 1/i), Theorem 3.3 (E[L_t] <= log n,
+// L_max = O(log n) w.h.p.) and the constant-p bound E[L_t] <= 1/p.
+#pragma once
+
+#include <vector>
+
+#include "baseline/pa_config.h"
+#include "util/types.h"
+
+namespace pagen::baseline {
+
+class ChainTrace {
+ public:
+  /// Evaluate all draws for the x = 1 model under `config`.
+  explicit ChainTrace(const PaConfig& config);
+
+  [[nodiscard]] NodeId n() const { return static_cast<NodeId>(k_.size()); }
+
+  /// The k selected for node t (t >= 2).
+  [[nodiscard]] NodeId selected(NodeId t) const { return k_[t]; }
+
+  /// True if node t resolved directly (F_t = k, Line 5-6).
+  [[nodiscard]] bool independent(NodeId t) const { return direct_[t] != 0; }
+
+  /// Selection chain S_t = <t, k_t, k_{k_t}, ..., 1> (node count >= 1).
+  [[nodiscard]] std::vector<NodeId> selection_chain(NodeId t) const;
+
+  /// |D_t| for every t in [2, n): dependency-chain node counts. D_t stops at
+  /// the first independent node (inclusive). Entries 0 and 1 are 0.
+  [[nodiscard]] std::vector<Count> dependency_lengths() const;
+
+  /// |S_t| for every t in [2, n). Entries 0 and 1 are 0 and 1.
+  [[nodiscard]] std::vector<Count> selection_lengths() const;
+
+ private:
+  std::vector<NodeId> k_;        // k_[t] valid for t >= 2
+  std::vector<std::uint8_t> direct_;
+};
+
+}  // namespace pagen::baseline

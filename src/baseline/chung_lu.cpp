@@ -1,0 +1,73 @@
+#include "baseline/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+
+graph::EdgeList chung_lu(const ClConfig& config) {
+  const std::size_t n = config.weights.size();
+  PAGEN_CHECK_MSG(n >= 2, "need at least two nodes");
+  for (double w : config.weights) PAGEN_CHECK_MSG(w >= 0.0, "negative weight");
+
+  // Sort node indices by weight descending; the skipping bound requires
+  // within-row monotone non-increasing probabilities.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return config.weights[a] > config.weights[b];
+  });
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = config.weights[order[i]];
+
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  PAGEN_CHECK_MSG(total > 0.0, "all weights zero");
+
+  rng::Xoshiro256pp rng(config.seed);
+  graph::EdgeList edges;
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (w[i] == 0.0) break;  // all remaining rows are zero too
+    std::size_t j = i + 1;
+    double p = std::min(1.0, w[i] * w[j] / total);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) {
+        const double r = rng.unit();
+        j += static_cast<std::size_t>(std::log1p(-r) / std::log1p(-p));
+      }
+      if (j < n) {
+        const double q = std::min(1.0, w[i] * w[j] / total);
+        if (rng.unit() < q / p) {
+          edges.push_back({order[i], order[j]});
+        }
+        p = q;
+        ++j;
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<double> power_law_weights(NodeId n, double gamma,
+                                      double mean_degree) {
+  PAGEN_CHECK(gamma > 2.0);
+  PAGEN_CHECK(mean_degree > 0.0 && n >= 1);
+  std::vector<double> w(n);
+  const double exponent = -1.0 / (gamma - 1.0);
+  // i0 offsets the head so the maximum weight stays O(n^{1/(gamma-1)}).
+  const double i0 = 1.0;
+  double sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + i0, exponent);
+    sum += w[i];
+  }
+  const double scale = mean_degree * static_cast<double>(n) / sum;
+  for (double& x : w) x *= scale;
+  return w;
+}
+
+}  // namespace pagen::baseline

@@ -1,0 +1,36 @@
+// Chung–Lu random graphs with given expected degrees, via the efficient
+// Miller–Hagberg algorithm (WAW 2011) — reference [23] of the paper and one
+// of the models its introduction surveys.
+//
+// Given weights w_i, edge (i, j) exists independently with probability
+// min(1, w_i w_j / S), S = sum w. The efficient algorithm sorts weights
+// descending and skips geometrically inside each row using the current
+// probability upper bound, for expected time O(n + m).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::baseline {
+
+struct ClConfig {
+  /// Expected degree per node. Need not be sorted; nodes are relabeled
+  /// internally and edges reported under the original labels.
+  std::vector<double> weights;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a Chung–Lu graph. No self-loops, no duplicate edges.
+[[nodiscard]] graph::EdgeList chung_lu(const ClConfig& config);
+
+/// Power-law weight sequence: w_i ∝ (i + i0)^{-1/(gamma-1)}, scaled so the
+/// mean weight is `mean_degree`. The standard way to make Chung–Lu emulate
+/// a scale-free network with exponent gamma.
+[[nodiscard]] std::vector<double> power_law_weights(NodeId n, double gamma,
+                                                    double mean_degree);
+
+}  // namespace pagen::baseline

@@ -1,0 +1,44 @@
+// Sequential copy-model generators (Section 3.1, Kumar et al. model).
+//
+// These are the reference implementations the parallel algorithms are tested
+// against: for x = 1 the parallel generator must reproduce these edges
+// bitwise (same seed), and for x >= 1 it must match all structural
+// invariants.  Both pull randomness exclusively through DrawSchema.
+#pragma once
+
+#include <vector>
+
+#include "baseline/pa_config.h"
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::baseline {
+
+/// x = 1 copy model: returns F where F[t] is node t's chosen endpoint
+/// (F[0] = kNil, F[1] = 0). The network is the tree {(t, F[t]) : t >= 1}.
+[[nodiscard]] std::vector<NodeId> copy_model_targets(const PaConfig& config);
+
+/// Grow an existing x = 1 network in place to config.n nodes ("they are
+/// evolving in nature", Section 3.1): because every draw is a pure function
+/// of (seed, t), extending a network is indistinguishable from having
+/// generated the larger network in one shot — extend(k)∘generate(m) ==
+/// generate(k) for the same seed. `targets` must be a prefix produced by
+/// copy_model_targets (or a previous extend) under the same config seed/p.
+void extend_copy_model(std::vector<NodeId>& targets, const PaConfig& config);
+
+/// Edge-list form of copy_model_targets.
+[[nodiscard]] graph::EdgeList copy_model_x1(const PaConfig& config);
+
+/// General x >= 1 sequential copy model (the sequential semantics of
+/// Algorithm 3.2).
+struct GeneralResult {
+  /// targets[t * x + e] = F_t(e). Clique rows (t < x) are kNil except the
+  /// bootstrap convention row t == x, where F_x(e) = e.
+  std::vector<NodeId> targets;
+  graph::EdgeList edges;
+  /// Duplicate-triggered retries (paper lines 9-10 and 26-29).
+  Count retries = 0;
+};
+[[nodiscard]] GeneralResult copy_model_general(const PaConfig& config);
+
+}  // namespace pagen::baseline

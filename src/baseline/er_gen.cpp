@@ -1,0 +1,43 @@
+#include "baseline/er_gen.h"
+
+#include <cmath>
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+
+graph::EdgeList erdos_renyi(const ErConfig& config) {
+  PAGEN_CHECK(config.n >= 1);
+  PAGEN_CHECK(config.p >= 0.0 && config.p <= 1.0);
+  graph::EdgeList edges;
+  if (config.p == 0.0 || config.n < 2) return edges;
+
+  rng::Xoshiro256pp rng(config.seed);
+  if (config.p == 1.0) {
+    for (NodeId v = 1; v < config.n; ++v) {
+      for (NodeId w = 0; w < v; ++w) edges.push_back({v, w});
+    }
+    return edges;
+  }
+
+  // Enumerate pairs (v, w), w < v, in lexicographic order and skip ahead by
+  // 1 + floor(log(1-r) / log(1-p)) pairs between successive edges.
+  const double log_q = std::log(1.0 - config.p);
+  NodeId v = 1;
+  // Signed position within row v; -1 means "before the first column".
+  std::int64_t w = -1;
+  while (v < config.n) {
+    const double r = rng.unit();
+    const double skip = std::floor(std::log1p(-r) / log_q);
+    w += 1 + static_cast<std::int64_t>(skip);
+    while (w >= static_cast<std::int64_t>(v) && v < config.n) {
+      w -= static_cast<std::int64_t>(v);
+      ++v;
+    }
+    if (v < config.n) edges.push_back({v, static_cast<NodeId>(w)});
+  }
+  return edges;
+}
+
+}  // namespace pagen::baseline

@@ -1,0 +1,25 @@
+// Erdős–Rényi G(n, p) via geometric edge skipping (Batagelj–Brandes).
+//
+// The paper's introduction positions efficient ER generation as the sibling
+// problem (and cites the parallelization of this exact algorithm); we include
+// it as a comparison substrate for the examples and tests.  Expected time
+// O(n + m): instead of testing all binom(n,2) pairs, jump between successive
+// edges with geometrically distributed skips.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::baseline {
+
+struct ErConfig {
+  NodeId n = 1000;
+  double p = 0.01;  ///< independent edge probability
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::EdgeList erdos_renyi(const ErConfig& config);
+
+}  // namespace pagen::baseline

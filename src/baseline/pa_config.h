@@ -1,0 +1,40 @@
+// Configuration shared by all preferential-attachment generators.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace pagen {
+
+/// Parameters of one preferential-attachment generation run. Used by the
+/// sequential baselines and the parallel algorithms alike, so experiments
+/// compare the same workload across implementations.
+struct PaConfig {
+  /// Total number of nodes, labeled 0..n-1.
+  NodeId n = 1000;
+
+  /// Edges contributed by each new node (the paper's x). x = 1 produces a
+  /// random tree; x >= 2 starts from an x-clique and yields a connected
+  /// simple graph with binom(x,2) + (n - x) * x edges.
+  NodeId x = 1;
+
+  /// Copy-model probability of taking the directly selected node. p = 0.5
+  /// reproduces the Barabási–Albert process exactly (Section 3.1).
+  double p = 0.5;
+
+  /// Seed for the counter-based RNG. Runs with equal seeds produce equal
+  /// graphs for x = 1 regardless of rank count or partitioning scheme.
+  std::uint64_t seed = 1;
+};
+
+/// Total edges the generators emit for a config: an x-clique plus x edges
+/// per subsequent node (for x = 1: the single bootstrap edge (1,0) plus one
+/// edge per node t >= 2, i.e. n - 1 in total).
+[[nodiscard]] constexpr Count expected_edge_count(const PaConfig& c) {
+  if (c.x == 1) return c.n >= 2 ? c.n - 1 : 0;
+  const Count clique = c.x * (c.x - 1) / 2;
+  return clique + (c.n - c.x) * c.x;
+}
+
+}  // namespace pagen

@@ -1,0 +1,50 @@
+// The draw schema: every random choice of the copy-model generators.
+//
+// Both the sequential copy model and the distributed Algorithm 3.1/3.2 pull
+// their choices exclusively through this schema, so a choice is a pure
+// function of (seed, t, e, attempt) — independent of rank count, partition
+// scheme, message timing, and execution order.  This is what makes the
+// parallel generator *exact* and testable against the sequential one
+// (DESIGN.md §5).
+#pragma once
+
+#include "baseline/pa_config.h"
+#include "rng/counter_rng.h"
+#include "util/types.h"
+
+namespace pagen {
+
+class DrawSchema {
+ public:
+  explicit DrawSchema(const PaConfig& config)
+      : rng_(config.seed), p_(config.p), x_(config.x) {}
+
+  /// Line 3 / Line 4: the uniformly selected node k for (t, e, attempt).
+  /// Range is [1, t-1] for x = 1 and [x, t-1] for the general algorithm.
+  [[nodiscard]] NodeId pick_k(NodeId t, NodeId e, std::uint64_t attempt) const {
+    const NodeId lo = x_ == 1 ? NodeId{1} : x_;
+    return rng_.range(lo, t - 1, {kPurposeK, t, e, attempt});
+  }
+
+  /// Line 5: true means "connect directly to k" (probability p).
+  [[nodiscard]] bool pick_direct(NodeId t, NodeId e,
+                                 std::uint64_t attempt) const {
+    return rng_.coin(p_, {kPurposeCoin, t, e, attempt});
+  }
+
+  /// Line 12: which of k's x edges to copy (0-based).
+  [[nodiscard]] NodeId pick_l(NodeId t, NodeId e, std::uint64_t attempt) const {
+    return rng_.below(x_, {kPurposeL, t, e, attempt});
+  }
+
+ private:
+  static constexpr std::uint64_t kPurposeK = 1;
+  static constexpr std::uint64_t kPurposeCoin = 2;
+  static constexpr std::uint64_t kPurposeL = 3;
+
+  rng::CounterRng rng_;
+  double p_;
+  NodeId x_;
+};
+
+}  // namespace pagen

@@ -1,0 +1,46 @@
+#include "baseline/rmat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/edge_list.h"
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+
+graph::EdgeList rmat(const RmatConfig& config) {
+  PAGEN_CHECK(config.scale >= 1 && config.scale < 63);
+  PAGEN_CHECK(config.a > 0 && config.b >= 0 && config.c >= 0 && config.d >= 0);
+  PAGEN_CHECK_MSG(std::abs(config.a + config.b + config.c + config.d - 1.0) <
+                      1e-9,
+                  "quadrant probabilities must sum to 1");
+  rng::Xoshiro256pp rng(config.seed);
+
+  const double ab = config.a + config.b;
+  const double abc = ab + config.c;
+
+  graph::EdgeList edges;
+  edges.reserve(config.edges);
+  for (Count e = 0; e < config.edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (unsigned level = 0; level < config.scale; ++level) {
+      const double r = rng.unit();
+      u <<= 1;
+      v <<= 1;
+      if (r >= ab) u |= 1;                // quadrants c or d: lower half rows
+      if (r >= config.a && r < ab) v |= 1;  // quadrant b: right half cols
+      if (r >= abc) v |= 1;               // quadrant d: right half cols
+    }
+    edges.push_back({u, v});
+  }
+
+  if (config.simple) {
+    graph::normalize(edges);
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    std::erase_if(edges, [](const graph::Edge& e) { return e.u == e.v; });
+  }
+  return edges;
+}
+
+}  // namespace pagen::baseline

@@ -1,0 +1,39 @@
+// R-MAT recursive matrix graph generator (Chakrabarti, Zhan, Faloutsos —
+// SDM 2004), reference [7] of the paper.
+//
+// Each edge is placed by descending log2(n) levels of the adjacency
+// matrix, choosing a quadrant with probabilities (a, b, c, d) at each
+// level. Skewed parameters (a >> d) yield heavy-tailed degree
+// distributions; R-MAT is the generator behind Graph500.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::baseline {
+
+struct RmatConfig {
+  /// log2 of the node count (n = 2^scale), Graph500 terminology.
+  unsigned scale = 10;
+
+  /// Edges to generate. R-MAT naturally produces duplicates and self-loops;
+  /// set `simple` to filter them (the count then applies before filtering).
+  Count edges = 8192;
+
+  /// Quadrant probabilities; must be positive and sum to 1.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+
+  /// Remove self-loops and duplicate undirected edges from the output.
+  bool simple = false;
+
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::EdgeList rmat(const RmatConfig& config);
+
+}  // namespace pagen::baseline

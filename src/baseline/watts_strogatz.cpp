@@ -1,0 +1,64 @@
+#include "baseline/watts_strogatz.h"
+
+#include <unordered_set>
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+namespace {
+
+/// Pack an undirected pair into one key for the duplicate set.
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+graph::EdgeList watts_strogatz(const WsConfig& config) {
+  PAGEN_CHECK_MSG(config.k >= 2 && config.k % 2 == 0,
+                  "k must be even and >= 2");
+  PAGEN_CHECK_MSG(config.k < config.n, "k must be below n");
+  PAGEN_CHECK_MSG(config.n < (NodeId{1} << 32),
+                  "WS generator packs pairs into 64 bits");
+  PAGEN_CHECK(config.beta >= 0.0 && config.beta <= 1.0);
+  rng::Xoshiro256pp rng(config.seed);
+
+  const NodeId n = config.n;
+  const NodeId half_k = config.k / 2;
+
+  graph::EdgeList edges;
+  edges.reserve(n * half_k);
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(n * half_k * 2);
+
+  // Ring lattice: node v connects to v+1 .. v+k/2 (mod n).
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= half_k; ++j) {
+      const NodeId w = (v + j) % n;
+      edges.push_back({v, w});
+      present.insert(pair_key(v, w));
+    }
+  }
+
+  // Rewire: with probability beta, replace edge (v, w) by (v, w') for a
+  // uniform w' avoiding self-loops and duplicates.
+  for (auto& e : edges) {
+    if (rng.unit() >= config.beta) continue;
+    // Fully rewired graphs can exhaust options around high-degree nodes;
+    // bail out of the attempt loop rather than loop forever.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const NodeId candidate = rng.below(n);
+      if (candidate == e.u) continue;
+      if (present.contains(pair_key(e.u, candidate))) continue;
+      present.erase(pair_key(e.u, e.v));
+      present.insert(pair_key(e.u, candidate));
+      e.v = candidate;
+      break;
+    }
+  }
+  return edges;
+}
+
+}  // namespace pagen::baseline

@@ -1,0 +1,29 @@
+// Watts–Strogatz small-world generator (Nature 1998), one of the related
+// models the paper's introduction surveys: a ring lattice whose edges are
+// rewired with probability beta, interpolating between regular lattices
+// (beta = 0) and Erdős–Rényi-like graphs (beta = 1).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::baseline {
+
+struct WsConfig {
+  NodeId n = 1000;
+  /// Each node connects to its k nearest ring neighbors; k must be even
+  /// and < n. The lattice has n*k/2 edges.
+  NodeId k = 4;
+  /// Rewiring probability for each lattice edge.
+  double beta = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a Watts–Strogatz graph. Rewired endpoints are resampled until
+/// the result is neither a self-loop nor a duplicate, so the output is
+/// always a simple graph with exactly n*k/2 edges.
+[[nodiscard]] graph::EdgeList watts_strogatz(const WsConfig& config);
+
+}  // namespace pagen::baseline

@@ -1,0 +1,125 @@
+#include "core/distributed_bfs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mps/bsp.h"
+#include "mps/engine.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+constexpr int kTagIncidence = 30;
+constexpr int kTagVisit = 31;
+
+struct Incidence {
+  NodeId local;
+  NodeId remote;
+};
+
+}  // namespace
+
+DistributedBfsResult distributed_bfs(const std::vector<graph::EdgeList>& shards,
+                                     NodeId n, partition::Scheme scheme,
+                                     NodeId source) {
+  PAGEN_CHECK(!shards.empty());
+  PAGEN_CHECK(source < n);
+  const int ranks = static_cast<int>(shards.size());
+  const auto part = partition::make_partition(scheme, n, ranks);
+
+  DistributedBfsResult result;
+  result.distances.assign(n, kNil);
+  std::vector<std::vector<NodeId>> dist_slots(static_cast<std::size_t>(ranks));
+
+  mps::run_ranks(ranks, [&](mps::Comm& comm) {
+    const Rank me = comm.rank();
+    const Count my_nodes = part->part_size(me);
+
+    // Setup superstep: per-node local adjacency (CSR-lite over incidences).
+    std::vector<std::vector<NodeId>> adjacency(my_nodes);
+    {
+      mps::SendBuffer<Incidence> buf(comm, kTagIncidence, 512);
+      for (const graph::Edge& e : shards[static_cast<std::size_t>(me)]) {
+        for (const auto& [mine, other] :
+             {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+          const Rank owner = part->owner(mine);
+          if (owner == me) {
+            adjacency[part->local_index(mine)].push_back(other);
+          } else {
+            buf.add(owner, {mine, other});
+          }
+        }
+      }
+      mps::bsp_exchange<Incidence>(comm, buf, kTagIncidence,
+                                   [&](const Incidence& inc) {
+                                     adjacency[part->local_index(inc.local)]
+                                         .push_back(inc.remote);
+                                   });
+    }
+
+    std::vector<NodeId> dist(my_nodes, kNil);
+    std::vector<NodeId> frontier;  // local nodes discovered last level
+    if (part->owner(source) == me) {
+      dist[part->local_index(source)] = 0;
+      frontier.push_back(source);
+    }
+
+    NodeId level = 0;
+    for (;;) {
+      // Global frontier size decides continuation — every rank agrees.
+      const Count global_frontier = comm.allreduce_sum(frontier.size());
+      if (me == 0) {
+        result.frontier_peak = std::max(result.frontier_peak, global_frontier);
+      }
+      if (global_frontier == 0) break;
+      ++level;
+
+      // Expand: propose `level` to every neighbor of the frontier.
+      std::vector<NodeId> next;
+      mps::SendBuffer<NodeId> buf(comm, kTagVisit, 512);
+      auto visit_local = [&](NodeId v) {
+        auto& d = dist[part->local_index(v)];
+        if (d == kNil) {
+          d = level;
+          next.push_back(v);
+        }
+      };
+      for (NodeId u : frontier) {
+        for (NodeId w : adjacency[part->local_index(u)]) {
+          const Rank owner = part->owner(w);
+          if (owner == me) {
+            visit_local(w);
+          } else {
+            buf.add(owner, w);
+          }
+        }
+      }
+      mps::bsp_exchange<NodeId>(comm, buf, kTagVisit,
+                                [&](const NodeId& w) { visit_local(w); });
+      frontier = std::move(next);
+    }
+
+    dist_slots[static_cast<std::size_t>(me)] = std::move(dist);
+    const Count my_visited =
+        static_cast<Count>(std::count_if(
+            dist_slots[static_cast<std::size_t>(me)].begin(),
+            dist_slots[static_cast<std::size_t>(me)].end(),
+            [](NodeId d) { return d != kNil; }));
+    const Count total_visited = comm.allreduce_sum(my_visited);
+    if (me == 0) {
+      result.visited = total_visited;
+      result.levels = level > 0 ? level - 1 : 0;
+    }
+  });
+
+  for (Rank r = 0; r < ranks; ++r) {
+    const auto& slot = dist_slots[static_cast<std::size_t>(r)];
+    for (Count idx = 0; idx < slot.size(); ++idx) {
+      result.distances[part->node_at(r, idx)] = slot[idx];
+    }
+  }
+  return result;
+}
+
+}  // namespace pagen::core

@@ -1,0 +1,35 @@
+// Distributed breadth-first search over per-rank edge shards.
+//
+// The third analytics pass of the suite (with distributed_degree and
+// distributed_cc): level-synchronous BFS where each rank holds the
+// distance array of its own nodes and the frontier expands through BSP
+// supersteps — visit messages carry newly reached nodes to their owners.
+// This is the Graph500 kernel shape, and what "use the generated network"
+// looks like for the paper's target applications (epidemic/cascade
+// simulations over synthetic social networks).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/partition.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct DistributedBfsResult {
+  /// dist[v] = hops from the source (kNil if unreachable). Gathered on
+  /// return for verification; the per-rank pass never gathers edges.
+  std::vector<NodeId> distances;
+  Count levels = 0;          ///< BFS depth reached (max finite distance)
+  Count visited = 0;         ///< reachable nodes including the source
+  Count frontier_peak = 0;   ///< largest frontier across levels
+};
+
+/// Run a level-synchronous BFS from `source` over the union of `shards`.
+/// Shard/ownership contract matches distributed_degree.h.
+[[nodiscard]] DistributedBfsResult distributed_bfs(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme, NodeId source);
+
+}  // namespace pagen::core

@@ -1,0 +1,109 @@
+#include "core/distributed_cc.h"
+
+#include "mps/bsp.h"
+#include "mps/engine.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+constexpr int kTagIncidence = 20;
+constexpr int kTagProposal = 21;
+
+struct Incidence {
+  NodeId local;   ///< node owned by the receiving rank
+  NodeId remote;  ///< the other endpoint (any owner)
+};
+
+struct Proposal {
+  NodeId target;  ///< node owned by the receiving rank
+  NodeId label;   ///< proposed (smaller) component label
+};
+
+}  // namespace
+
+DistributedCcResult distributed_connected_components(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme) {
+  PAGEN_CHECK(!shards.empty());
+  const int ranks = static_cast<int>(shards.size());
+  const auto part = partition::make_partition(scheme, n, ranks);
+
+  DistributedCcResult result;
+
+  mps::run_ranks(ranks, [&](mps::Comm& comm) {
+    const Rank me = comm.rank();
+    const Count my_nodes = part->part_size(me);
+
+    // --- Setup superstep: symmetrize the edge incidence so each rank holds
+    // the full incidence list of its own nodes.
+    std::vector<Incidence> incidence;
+    {
+      mps::SendBuffer<Incidence> buf(comm, kTagIncidence, 512);
+      for (const graph::Edge& e : shards[static_cast<std::size_t>(me)]) {
+        for (const auto& [mine, other] :
+             {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+          const Rank owner = part->owner(mine);
+          if (owner == me) {
+            incidence.push_back({mine, other});
+          } else {
+            buf.add(owner, {mine, other});
+          }
+        }
+      }
+      mps::bsp_exchange<Incidence>(
+          comm, buf, kTagIncidence,
+          [&](const Incidence& inc) { incidence.push_back(inc); });
+    }
+
+    // --- Label propagation rounds.
+    std::vector<NodeId> label(my_nodes);
+    for (Count i = 0; i < my_nodes; ++i) label[i] = part->node_at(me, i);
+
+    Count rounds = 0;
+    for (;;) {
+      ++rounds;
+      Count changes = 0;
+      mps::SendBuffer<Proposal> buf(comm, kTagProposal, 512);
+      for (const Incidence& inc : incidence) {
+        const NodeId my_label = label[part->local_index(inc.local)];
+        const Rank owner = part->owner(inc.remote);
+        if (owner == me) {
+          auto& other = label[part->local_index(inc.remote)];
+          if (my_label < other) {
+            other = my_label;
+            ++changes;
+          }
+        } else {
+          buf.add(owner, {inc.remote, my_label});
+        }
+      }
+      mps::bsp_exchange<Proposal>(comm, buf, kTagProposal,
+                                  [&](const Proposal& prop) {
+                                    auto& l =
+                                        label[part->local_index(prop.target)];
+                                    if (prop.label < l) {
+                                      l = prop.label;
+                                      ++changes;
+                                    }
+                                  });
+      if (comm.allreduce_sum(changes) == 0) break;
+    }
+
+    // --- Roots: a node whose label equals its own id heads a component.
+    Count roots = 0;
+    for (Count i = 0; i < my_nodes; ++i) {
+      if (label[i] == part->node_at(me, i)) ++roots;
+    }
+    const Count total_roots = comm.allreduce_sum(roots);
+    const Count total_rounds = comm.allreduce_max(rounds);
+    if (me == 0) {
+      result.components = total_roots;
+      result.rounds = total_rounds;
+    }
+  });
+
+  return result;
+}
+
+}  // namespace pagen::core

@@ -1,0 +1,35 @@
+// Distributed connected components over per-rank edge shards.
+//
+// Companion analytics pass to distributed_degree.h: verifies the paper's
+// connectivity property (a PA network with x >= 1 is connected by
+// construction) without gathering edges. Algorithm: distributed label
+// propagation with pointer jumping — every node starts with its own label;
+// each round, edges propose the smaller endpoint label to the larger
+// endpoint's owner, then labels shortcut through their current values;
+// rounds continue until a global allreduce reports no change. Converges in
+// O(log n) rounds on graphs with low diameter (PA networks: O(log n)).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/partition.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct DistributedCcResult {
+  /// Number of connected components (isolated nodes count individually).
+  Count components = 0;
+  /// Label-propagation rounds until convergence.
+  Count rounds = 0;
+};
+
+/// Compute connected components of the union of `shards` over nodes
+/// [0, n). Shard/ownership contract matches distributed_degree.h. Runs a
+/// rank world of shards.size() ranks.
+[[nodiscard]] DistributedCcResult distributed_connected_components(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme);
+
+}  // namespace pagen::core

@@ -1,0 +1,78 @@
+#include "core/distributed_degree.h"
+
+#include <map>
+
+#include "mps/bsp.h"
+#include "mps/engine.h"
+#include "mps/send_buffer.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+constexpr int kTagIncrement = 10;
+
+}  // namespace
+
+DegreeHistogram distributed_degree_distribution(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme) {
+  PAGEN_CHECK(!shards.empty());
+  const int ranks = static_cast<int>(shards.size());
+  const auto part = partition::make_partition(scheme, n, ranks);
+
+  // Merged histogram, assembled identically on every rank; rank 0's copy is
+  // returned. Written once (by the rank-0 thread) after its allgather.
+  DegreeHistogram merged;
+
+  mps::run_ranks(ranks, [&](mps::Comm& comm) {
+    const Rank me = comm.rank();
+    std::vector<Count> degree(part->part_size(me), 0);
+
+    auto bump = [&](NodeId v) { ++degree[part->local_index(v)]; };
+
+    // Phases 1+2 as one BSP superstep: count local endpoints, ship remote
+    // ones, then absorb the increments shipped to us.
+    mps::SendBuffer<NodeId> increments(comm, kTagIncrement, 512);
+    for (const graph::Edge& e :
+         shards[static_cast<std::size_t>(me)]) {
+      for (NodeId v : {e.u, e.v}) {
+        const Rank owner = part->owner(v);
+        if (owner == me) {
+          bump(v);
+        } else {
+          increments.add(owner, v);
+        }
+      }
+    }
+    mps::bsp_exchange<NodeId>(comm, increments, kTagIncrement,
+                              [&](const NodeId& v) { bump(v); });
+
+    // Phase 3: fold my nodes' degrees into a (degree -> count) table and
+    // allgather the tables.
+    std::map<Count, Count> local;
+    for (Count d : degree) ++local[d];
+    std::vector<std::byte> blob;
+    for (const auto& [deg, count] : local) {
+      mps::pack_one(blob, deg);
+      mps::pack_one(blob, count);
+    }
+    const auto all = comm.allgather_bytes(std::move(blob));
+
+    if (me == 0) {
+      std::map<Count, Count> total;
+      for (const auto& rank_blob : all) {
+        const auto items = mps::unpack<Count>(rank_blob);
+        PAGEN_CHECK(items.size() % 2 == 0);
+        for (std::size_t i = 0; i < items.size(); i += 2) {
+          total[items[i]] += items[i + 1];
+        }
+      }
+      merged.assign(total.begin(), total.end());
+    }
+  });
+
+  return merged;
+}
+
+}  // namespace pagen::core

@@ -1,0 +1,38 @@
+// Distributed degree-distribution computation over per-rank edge shards.
+//
+// The paper (Section 3.2): "Some network analysts may prefer to generate
+// networks on the fly and analyze it without performing disk I/O."  This
+// pass does exactly that for the first statistic anyone computes: each rank
+// owns the degree counters of its own nodes; endpoints owned elsewhere are
+// shipped as batched increment messages; the per-rank degree tables are
+// folded into local (degree -> node count) histograms and allgathered.
+//
+// Message complexity: one increment per cross-rank endpoint, batched by
+// SendBuffer. Exchange is bulk-synchronous: flush, barrier, drain — valid
+// because the runtime's send enqueues synchronously (the MPI analogue
+// would be an MPI_Alltoallv).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/partition.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+/// (degree, number of nodes with that degree), ascending by degree — the
+/// same data Fig. 4 plots, computed without ever gathering the edges.
+using DegreeHistogram = std::vector<std::pair<Count, Count>>;
+
+/// Compute the exact degree distribution of the union of `shards` over
+/// nodes [0, n). shards[r] must contain edges whose *newer* endpoint is
+/// owned by rank r under `scheme` with P = shards.size() (which is what
+/// ParallelOptions::keep_shards produces); the older endpoint may live
+/// anywhere. Runs its own rank world of shards.size() ranks.
+[[nodiscard]] DegreeHistogram distributed_degree_distribution(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme);
+
+}  // namespace pagen::core

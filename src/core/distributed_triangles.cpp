@@ -1,0 +1,179 @@
+#include "core/distributed_triangles.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mps/bsp.h"
+#include "mps/engine.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+constexpr int kTagIncidence = 40;
+constexpr int kTagDegQuery = 41;
+constexpr int kTagDegReply = 42;
+constexpr int kTagWedge = 43;
+
+struct Incidence {
+  NodeId local;
+  NodeId remote;
+};
+
+struct DegQuery {
+  Count flat_index;  ///< position in the asker's flattened adjacency
+  NodeId node;       ///< whose degree is wanted
+  Rank asker;
+};
+
+struct DegReply {
+  Count flat_index;
+  Count degree;
+};
+
+struct WedgeQuery {
+  NodeId v;  ///< owned by the receiving rank
+  NodeId w;  ///< the candidate third corner
+};
+
+}  // namespace
+
+DistributedTriangleResult distributed_triangle_count(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme) {
+  PAGEN_CHECK(!shards.empty());
+  const int ranks = static_cast<int>(shards.size());
+  const auto part = partition::make_partition(scheme, n, ranks);
+
+  DistributedTriangleResult result;
+
+  mps::run_ranks(ranks, [&](mps::Comm& comm) {
+    const Rank me = comm.rank();
+    const Count my_nodes = part->part_size(me);
+
+    // Superstep 1: adjacency of owned nodes (flattened with offsets).
+    std::vector<std::vector<NodeId>> adjacency(my_nodes);
+    {
+      mps::SendBuffer<Incidence> buf(comm, kTagIncidence, 512);
+      for (const graph::Edge& e : shards[static_cast<std::size_t>(me)]) {
+        for (const auto& [mine, other] :
+             {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+          const Rank owner = part->owner(mine);
+          if (owner == me) {
+            adjacency[part->local_index(mine)].push_back(other);
+          } else {
+            buf.add(owner, {mine, other});
+          }
+        }
+      }
+      mps::bsp_exchange<Incidence>(comm, buf, kTagIncidence,
+                                   [&](const Incidence& inc) {
+                                     adjacency[part->local_index(inc.local)]
+                                         .push_back(inc.remote);
+                                   });
+    }
+
+    // Flatten adjacency; neighbor degrees land in a parallel array.
+    std::vector<Count> offsets(my_nodes + 1, 0);
+    for (Count i = 0; i < my_nodes; ++i) {
+      offsets[i + 1] = offsets[i] + adjacency[i].size();
+    }
+    std::vector<NodeId> flat(offsets[my_nodes]);
+    std::vector<Count> neighbor_deg(offsets[my_nodes], 0);
+    for (Count i = 0; i < my_nodes; ++i) {
+      std::copy(adjacency[i].begin(), adjacency[i].end(),
+                flat.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+    }
+
+    auto local_degree = [&](NodeId v) {
+      return adjacency[part->local_index(v)].size();
+    };
+
+    // Supersteps 2+3: fetch the degree of every (remote) neighbor.
+    {
+      mps::SendBuffer<DegQuery> queries(comm, kTagDegQuery, 512);
+      for (Count idx = 0; idx < flat.size(); ++idx) {
+        const NodeId w = flat[idx];
+        const Rank owner = part->owner(w);
+        if (owner == me) {
+          neighbor_deg[idx] = local_degree(w);
+        } else {
+          queries.add(owner, {idx, w, me});
+        }
+      }
+      mps::bsp_query_reply<DegQuery, DegReply>(
+          comm, queries, kTagDegQuery, kTagDegReply, 512,
+          [&](const DegQuery& q) {
+            return std::pair{q.asker,
+                             DegReply{q.flat_index, local_degree(q.node)}};
+          },
+          [&](const DegReply& r) { neighbor_deg[r.flat_index] = r.degree; });
+    }
+
+    // Orientation: u -> v iff (deg u, u) < (deg v, v). Build sorted
+    // out-neighbor lists of owned nodes.
+    auto precedes = [](Count deg_a, NodeId a, Count deg_b, NodeId b) {
+      return deg_a != deg_b ? deg_a < deg_b : a < b;
+    };
+    std::vector<std::vector<std::pair<NodeId, Count>>> out(my_nodes);
+    for (Count i = 0; i < my_nodes; ++i) {
+      const NodeId u = part->node_at(me, i);
+      const Count du = adjacency[i].size();
+      for (Count idx = offsets[i]; idx < offsets[i + 1]; ++idx) {
+        if (precedes(du, u, neighbor_deg[idx], flat[idx])) {
+          out[i].emplace_back(flat[idx], neighbor_deg[idx]);
+        }
+      }
+      std::sort(out[i].begin(), out[i].end());
+    }
+    auto has_out_edge = [&](NodeId v, NodeId w) {
+      const auto& row = out[part->local_index(v)];
+      return std::binary_search(
+          row.begin(), row.end(), std::pair{w, Count{0}},
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+    };
+
+    // Superstep 4: wedge queries. For each owned u and each ordered pair
+    // (v, w) of its out-neighbors, ask owner(v) whether v -> w exists.
+    Count local_triangles = 0;
+    Count local_queries = 0;
+    {
+      mps::SendBuffer<WedgeQuery> buf(comm, kTagWedge, 512);
+      for (Count i = 0; i < my_nodes; ++i) {
+        const auto& row = out[i];
+        for (std::size_t a = 0; a < row.size(); ++a) {
+          for (std::size_t b = a + 1; b < row.size(); ++b) {
+            // Orient the closing edge from the smaller corner.
+            auto [v, dv] = row[a];
+            auto [w, dw] = row[b];
+            if (!precedes(dv, v, dw, w)) {
+              std::swap(v, w);
+            }
+            ++local_queries;
+            const Rank owner = part->owner(v);
+            if (owner == me) {
+              local_triangles += has_out_edge(v, w);
+            } else {
+              buf.add(owner, {v, w});
+            }
+          }
+        }
+      }
+      mps::bsp_exchange<WedgeQuery>(comm, buf, kTagWedge,
+                                    [&](const WedgeQuery& q) {
+                                      local_triangles += has_out_edge(q.v, q.w);
+                                    });
+    }
+
+    const Count total_triangles = comm.allreduce_sum(local_triangles);
+    const Count total_queries = comm.allreduce_sum(local_queries);
+    if (me == 0) {
+      result.triangles = total_triangles;
+      result.wedge_queries = total_queries;
+    }
+  });
+
+  return result;
+}
+
+}  // namespace pagen::core

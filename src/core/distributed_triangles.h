@@ -1,0 +1,31 @@
+// Distributed triangle counting over per-rank edge shards.
+//
+// The fourth analytics kernel (after degree, components, BFS). Algorithm:
+// each rank materializes the adjacency of its own nodes (setup superstep),
+// then for every local wedge (u; v, w) with deg-ordered orientation sends
+// an existence query "(v, w)?" to v's owner; a second superstep returns
+// confirmations. Orientation by (degree, id) ensures each triangle is
+// counted exactly once and bounds the wedge count by O(m^{3/2}) on
+// arbitrary graphs (the standard forward-counting argument).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/partition.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct DistributedTriangleResult {
+  Count triangles = 0;
+  Count wedge_queries = 0;  ///< existence queries issued (message volume)
+};
+
+/// Count triangles in the union of `shards` over nodes [0, n). Shard
+/// placement may be arbitrary (each edge once, any rank).
+[[nodiscard]] DistributedTriangleResult distributed_triangle_count(
+    const std::vector<graph::EdgeList>& shards, NodeId n,
+    partition::Scheme scheme);
+
+}  // namespace pagen::core

@@ -1,0 +1,24 @@
+// Front door of the pagen library.
+//
+// Quickstart:
+//   #include "core/generate.h"
+//   pagen::PaConfig config{.n = 1'000'000, .x = 4, .p = 0.5, .seed = 42};
+//   pagen::core::ParallelOptions options{.ranks = 8};
+//   auto result = pagen::core::generate(config, options);
+//   // result.edges holds the scale-free network's 4e6 edges.
+#pragma once
+
+#include "core/parallel_pa.h"
+#include "core/parallel_pa_general.h"
+
+namespace pagen::core {
+
+/// Generate a preferential-attachment network with the distributed
+/// algorithm matching config.x (Algorithm 3.1 for x = 1, Algorithm 3.2
+/// otherwise).
+[[nodiscard]] inline ParallelResult generate(const PaConfig& config,
+                                             const ParallelOptions& options) {
+  return generate_pa_general(config, options);
+}
+
+}  // namespace pagen::core

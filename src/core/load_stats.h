@@ -1,0 +1,56 @@
+// Per-rank load accounting in the paper's own metrics.
+//
+// Section 3.5: "we measure the computational load in terms of the number of
+// nodes per processor, the number of outgoing messages (request message)
+// from a processor, and the number of incoming messages (response messages)
+// to a processor."  Figure 7 plots nodes, outgoing requests, incoming
+// requests and total load per rank; the scaling model (scaling_model.h)
+// converts these counters into modeled parallel time.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct RankLoad {
+  Count nodes = 0;              ///< nodes assigned to the rank (type A work)
+  Count requests_sent = 0;      ///< outgoing <request> messages (type B)
+  Count requests_received = 0;  ///< incoming <request> messages (type C)
+  Count resolved_sent = 0;      ///< outgoing <resolved> messages
+  Count resolved_received = 0;  ///< incoming <resolved> messages
+  Count queued = 0;             ///< requests parked because F_k was NILL
+  Count local_waits = 0;        ///< same-rank waits (no message needed)
+  Count retries = 0;            ///< duplicate-edge retries (x >= 1 only)
+  Count edges = 0;              ///< edges emitted by this rank
+  Count max_queue_depth = 0;    ///< deepest wait queue Q_k(,l) observed
+
+  /// All algorithm-level messages this rank touched.
+  [[nodiscard]] Count total_messages() const {
+    return requests_sent + requests_received + resolved_sent +
+           resolved_received;
+  }
+
+  /// The paper's Fig. 7(d) metric: nodes + incoming + outgoing messages.
+  [[nodiscard]] Count total_load() const { return nodes + total_messages(); }
+
+  RankLoad& operator+=(const RankLoad& o) {
+    nodes += o.nodes;
+    requests_sent += o.requests_sent;
+    requests_received += o.requests_received;
+    resolved_sent += o.resolved_sent;
+    resolved_received += o.resolved_received;
+    queued += o.queued;
+    local_waits += o.local_waits;
+    retries += o.retries;
+    edges += o.edges;
+    max_queue_depth = std::max(max_queue_depth, o.max_queue_depth);
+    return *this;
+  }
+};
+
+using LoadVector = std::vector<RankLoad>;
+
+}  // namespace pagen::core

@@ -1,0 +1,56 @@
+// Runtime options of the distributed generators.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "graph/edge_list.h"
+#include "partition/partition.h"
+
+namespace pagen::core {
+
+struct ParallelOptions {
+  /// Number of ranks (the paper's P). Ranks are runtime threads and may
+  /// exceed hardware cores (DESIGN.md §2).
+  int ranks = 4;
+
+  /// Node partitioning scheme (Section 3.5).
+  partition::Scheme scheme = partition::Scheme::kRrp;
+
+  /// Override the scheme with an arbitrary Partition (e.g. block-cyclic,
+  /// partition/block_cyclic.h). Must cover exactly `n` nodes over exactly
+  /// `ranks` parts. When set, `scheme` is ignored.
+  std::shared_ptr<const partition::Partition> custom_partition;
+
+  /// Items per (destination, tag) buffer before an automatic flush
+  /// ("message buffering", Section 3.5). 1 disables aggregation.
+  std::size_t buffer_capacity = 256;
+
+  /// Own nodes processed between message pumps.
+  std::size_t node_batch = 1024;
+
+  /// Force-flush resolved buffers after processing every received batch —
+  /// the paper's deadlock-avoidance rule for RRP. Always safe; switchable
+  /// only so the ablation bench can quantify its cost under CP schemes.
+  bool flush_resolved_after_batch = true;
+
+  /// Collect the generated edges into one EdgeList on return. Disable for
+  /// throughput runs that only need load statistics.
+  bool gather_edges = true;
+
+  /// Also return each rank's local edges separately (ParallelResult::shards)
+  /// — the input format of sharded persistence (graph/sharded_io.h) and of
+  /// the distributed analytics passes (core/distributed_degree.h).
+  bool keep_shards = false;
+
+  /// Streaming consumption: invoked on the generating rank's thread for
+  /// every emitted edge, in emission order. Enables "generate on the fly
+  /// and analyze without disk I/O" (Section 3.2) with gather_edges = false
+  /// and no edge storage at all. Called concurrently from different rank
+  /// threads — the callback must be thread-safe (e.g. write to
+  /// rank-indexed state).
+  std::function<void(Rank, const graph::Edge&)> edge_sink;
+};
+
+}  // namespace pagen::core

@@ -1,0 +1,44 @@
+// Wire formats of the distributed PA algorithms (Algorithms 3.1 and 3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace pagen::core {
+
+// Tag space of the generation protocol.
+inline constexpr int kTagRequest = 1;   ///< <request, ...>
+inline constexpr int kTagResolved = 2;  ///< <resolved, ...>
+inline constexpr int kTagDone = 3;      ///< rank -> 0 local-completion notice
+inline constexpr int kTagStop = 4;      ///< 0 -> all stop broadcast
+
+/// Algorithm 3.1 <request, t, k>: "tell me F_k so I can set F_t".
+struct RequestX1 {
+  NodeId t = 0;
+  NodeId k = 0;
+};
+
+/// Algorithm 3.1 <resolved, t, v>: "F_t = v".
+struct ResolvedX1 {
+  NodeId t = 0;
+  NodeId v = 0;
+};
+
+/// Algorithm 3.2 <request, t, e, k, l>: "tell me F_k(l) for t's e-th edge".
+struct RequestXk {
+  NodeId t = 0;
+  NodeId k = 0;
+  std::uint32_t e = 0;
+  std::uint32_t l = 0;
+};
+
+/// Algorithm 3.2 <resolved, t, e, v>.
+struct ResolvedXk {
+  NodeId t = 0;
+  NodeId v = 0;
+  std::uint32_t e = 0;
+  std::uint32_t pad = 0;  ///< keeps the struct trivially packed at 24 bytes
+};
+
+}  // namespace pagen::core

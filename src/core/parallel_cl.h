@@ -1,0 +1,36 @@
+// Distributed Chung–Lu generation.
+//
+// Completes the distributed generator suite (exact PA, approximate PA, ER):
+// the Chung–Lu model's rows are independent given the weight vector, so the
+// Miller–Hagberg skipping enumeration parallelizes without messages. Rows
+// are dealt round-robin — with weights sorted descending, row cost is
+// monotone decreasing, so round-robin balances the same way RRP balances
+// the PA algorithm (Appendix A.3's argument transplanted).
+//
+// Randomness is a per-row counter-derived stream, so the emitted edge set
+// is independent of the rank count — tested bitwise.
+#pragma once
+
+#include <vector>
+
+#include "baseline/chung_lu.h"
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct ParallelClResult {
+  graph::EdgeList edges;                ///< gathered (empty if !gather)
+  std::vector<graph::EdgeList> shards;  ///< per-rank edges
+  Count total_edges = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Generate a Chung–Lu graph over `ranks` ranks. `config.weights` must be
+/// sorted in non-increasing order (power_law_weights produces this form);
+/// the skipping bound requires it per row. The weight vector is replicated
+/// on every rank (it is model input, like the paper's clique).
+[[nodiscard]] ParallelClResult generate_cl(const baseline::ClConfig& config,
+                                           int ranks, bool gather = true);
+
+}  // namespace pagen::core

@@ -1,0 +1,84 @@
+#include "core/parallel_er.h"
+
+#include <cmath>
+
+#include "mps/engine.h"
+#include "rng/splitmix.h"
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::core {
+
+graph::Edge pair_from_index(Count idx) {
+  // v is the largest integer with v(v-1)/2 <= idx. Start from the floating
+  // inverse and correct the ±1 rounding integer-exactly.
+  auto v = static_cast<Count>(
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) / 2.0);
+  while (v * (v - 1) / 2 > idx) --v;
+  while ((v + 1) * v / 2 <= idx) ++v;
+  const Count w = idx - v * (v - 1) / 2;
+  PAGEN_DCHECK(w < v);
+  return {v, w};
+}
+
+ParallelErResult generate_er(const baseline::ErConfig& config, int ranks,
+                             bool gather) {
+  PAGEN_CHECK(ranks >= 1);
+  PAGEN_CHECK(config.p >= 0.0 && config.p <= 1.0);
+  const Count total_pairs =
+      config.n < 2 ? 0 : config.n * (config.n - 1) / 2;
+
+  const auto nranks = static_cast<std::size_t>(ranks);
+  ParallelErResult result;
+  result.shards.resize(nranks);
+
+  const mps::RunResult run = mps::run_ranks(ranks, [&](mps::Comm& comm) {
+    const auto r = static_cast<Count>(comm.rank());
+    const Count begin = total_pairs * r / static_cast<Count>(ranks);
+    const Count end = total_pairs * (r + 1) / static_cast<Count>(ranks);
+    auto& shard = result.shards[static_cast<std::size_t>(comm.rank())];
+
+    if (config.p > 0.0 && begin < end) {
+      if (config.p >= 1.0) {
+        shard.reserve(end - begin);
+        for (Count idx = begin; idx < end; ++idx) {
+          shard.push_back(pair_from_index(idx));
+        }
+      } else {
+        // Private stream per (seed, rank): mix the rank into the seed.
+        rng::Xoshiro256pp rng(
+            rng::splitmix64_mix(config.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1))));
+        const double log_q = std::log(1.0 - config.p);
+        // Positions are linear pair indices; walk by geometric skips.
+        Count pos = begin;
+        bool first = true;
+        while (true) {
+          const double u = rng.unit();
+          const auto skip =
+              static_cast<Count>(std::floor(std::log1p(-u) / log_q));
+          // The first step lands uniformly inside the chunk's initial
+          // geometric gap; subsequent steps advance past the previous edge.
+          pos = first ? begin + skip : pos + 1 + skip;
+          first = false;
+          if (pos >= end) break;
+          shard.push_back(pair_from_index(pos));
+        }
+      }
+    }
+    // One collective so every run exercises the runtime's start/stop path
+    // and wall_seconds covers all ranks' generation.
+    comm.barrier();
+  });
+
+  result.wall_seconds = run.wall_seconds;
+  for (const auto& shard : result.shards) result.total_edges += shard.size();
+  if (gather) {
+    result.edges.reserve(result.total_edges);
+    for (const auto& shard : result.shards) {
+      result.edges.insert(result.edges.end(), shard.begin(), shard.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace pagen::core

@@ -1,0 +1,39 @@
+// Distributed Erdős–Rényi G(n, p) generation.
+//
+// The paper's introduction: "Even for the Erdős–Rényi model where the
+// existence of edges are independent of each other, parallelization of a
+// non-naive efficient algorithm, such as the algorithm by Batagelj and
+// Brandes, is a non-trivial problem. A parallelization ... was recently
+// proposed in [24]."  This module implements that parallelization as a
+// companion generator and as the contrast case for the PA algorithms: the
+// pair-index space [0, C(n,2)) is split into contiguous chunks, and each
+// rank runs the geometric-skipping enumeration privately — zero messages,
+// perfect independence, versus PA's request/resolve protocol.
+#pragma once
+
+#include <vector>
+
+#include "baseline/er_gen.h"
+#include "graph/edge_list.h"
+#include "mps/stats.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct ParallelErResult {
+  graph::EdgeList edges;                 ///< gathered (empty if !gather)
+  std::vector<graph::EdgeList> shards;   ///< per-rank edges
+  Count total_edges = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Generate G(n, p) on `ranks` ranks. Deterministic in (config.seed, ranks):
+/// each rank derives an independent stream from the seed and its chunk.
+[[nodiscard]] ParallelErResult generate_er(const baseline::ErConfig& config,
+                                           int ranks, bool gather = true);
+
+/// Map a linear pair index to the pair (v, w), w < v, under lexicographic
+/// enumeration idx = v(v-1)/2 + w. Exposed for tests.
+[[nodiscard]] graph::Edge pair_from_index(Count idx);
+
+}  // namespace pagen::core

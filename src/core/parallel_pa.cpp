@@ -1,0 +1,262 @@
+#include "core/parallel_pa.h"
+
+#include <chrono>
+
+#include "baseline/pa_draws.h"
+#include "core/pa_messages.h"
+#include "mps/engine.h"
+#include "mps/send_buffer.h"
+#include "mps/termination.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+using partition::Partition;
+
+/// Interval a rank sleeps in poll_wait when it has nothing runnable.
+constexpr std::chrono::milliseconds kIdleWait{20};
+
+/// Private state and protocol logic of one rank executing Algorithm 3.1.
+class RankX1 {
+ public:
+  RankX1(const PaConfig& config, const ParallelOptions& options,
+         const Partition& part, mps::Comm& comm)
+      : config_(config),
+        options_(options),
+        part_(part),
+        comm_(comm),
+        draws_(config),
+        store_edges_(options.gather_edges || options.keep_shards),
+        f_(part.part_size(comm.rank()), kNil),
+        waiters_(f_.size()),
+        req_buf_(comm, kTagRequest, options.buffer_capacity),
+        res_buf_(comm, kTagResolved, options.buffer_capacity),
+        done_(comm, kTagDone, kTagStop) {
+    load_.nodes = f_.size();
+    edges_.reserve(f_.size());
+  }
+
+  void run() {
+    comm_.barrier();  // common start line, as mpirun would provide
+
+    // Phase 1: process own nodes in ascending label order, pumping messages
+    // between batches so requests from other ranks are never starved.
+    const Count my_nodes = part_.part_size(comm_.rank());
+    for (Count idx = 0; idx < my_nodes; ++idx) {
+      process_own_node(part_.node_at(comm_.rank(), idx));
+      if ((idx + 1) % options_.node_batch == 0) pump(false);
+    }
+    req_buf_.flush_all();
+
+    // Phase 2: serve and wait until every local F is resolved.
+    while (unresolved_ > 0) pump(true);
+
+    // Phase 3: local completion. All responses we owe so far are flushed
+    // before the done notice; afterwards we keep serving requests (always
+    // flushing responses) until the global stop arrives.
+    res_buf_.flush_all();
+    PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
+    done_.notify_local_done();
+    while (!done_.stopped()) pump(true);
+    res_buf_.flush_all();
+
+    comm_.barrier();  // nobody tears down while peers might still poll
+  }
+
+  [[nodiscard]] RankLoad load() const { return load_; }
+  [[nodiscard]] graph::EdgeList&& take_edges() { return std::move(edges_); }
+  [[nodiscard]] std::vector<NodeId>&& take_targets() { return std::move(f_); }
+
+ private:
+  void process_own_node(NodeId t) {
+    if (t == 0) return;  // node 0 has no outgoing choice
+    ++unresolved_;
+    if (t == 1) {
+      resolve(t, 0);  // bootstrap edge (1, 0)
+      return;
+    }
+    const NodeId k = draws_.pick_k(t, 0, 0);
+    if (draws_.pick_direct(t, 0, 0)) {
+      resolve(t, k);  // Line 5-6: F_t = k
+      return;
+    }
+    // Line 8-9: F_t = F_k, which may not be known yet.
+    const Rank owner = part_.owner(k);
+    if (owner == comm_.rank()) {
+      const Count kidx = part_.local_index(k);
+      if (f_[kidx] != kNil) {
+        resolve(t, f_[kidx]);
+      } else {
+        waiters_[kidx].push_back({t, comm_.rank()});
+        ++load_.local_waits;
+        note_queue_depth(waiters_[kidx].size());
+      }
+    } else {
+      req_buf_.add(owner, {t, k});
+      ++load_.requests_sent;
+    }
+  }
+
+  /// F_t := v. Emits the edge and cascades to every waiter of t.
+  void resolve(NodeId t, NodeId v) {
+    const Count idx = part_.local_index(t);
+    PAGEN_CHECK_MSG(f_[idx] == kNil, "double resolve of node " << t);
+    f_[idx] = v;
+    PAGEN_CHECK(unresolved_ > 0);
+    --unresolved_;
+    emit_edge({t, v});
+    // Waiters of t have F_{t'} = F_t = v (Lines 16-19).
+    for (const Waiter& w : waiters_[idx]) {
+      if (w.owner == comm_.rank()) {
+        resolve(w.t, v);
+      } else {
+        res_buf_.add(w.owner, {w.t, v});
+        ++load_.resolved_sent;
+      }
+    }
+    waiters_[idx].clear();
+    waiters_[idx].shrink_to_fit();
+  }
+
+  void handle_request(Rank src, const RequestX1& req) {
+    ++load_.requests_received;
+    const Count kidx = part_.local_index(req.k);
+    PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
+    if (f_[kidx] != kNil) {
+      res_buf_.add(src, {req.t, f_[kidx]});  // Line 12-13
+      ++load_.resolved_sent;
+    } else {
+      waiters_[kidx].push_back({req.t, src});  // Line 15: queue Q_k
+      ++load_.queued;
+      note_queue_depth(waiters_[kidx].size());
+    }
+  }
+
+  void handle_resolved(const ResolvedX1& res) {
+    ++load_.resolved_received;
+    resolve(res.t, res.v);  // Lines 16-19 (cascade happens inside)
+  }
+
+  /// Drain and process incoming envelopes. Blocking variants sleep briefly
+  /// when idle. Resolved buffers are force-flushed after every processed
+  /// batch (the paper's RRP deadlock-avoidance rule) unless the ablation
+  /// option disables it; they are always flushed once this rank is done.
+  void pump(bool blocking) {
+    inbox_.clear();
+    const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
+                              : comm_.poll(inbox_);
+    if (!got) return;
+    for (const mps::Envelope& env : inbox_) {
+      if (done_.handle(env)) continue;
+      if (env.tag == kTagRequest) {
+        mps::for_each_packed<RequestX1>(
+            env.payload, [&](const RequestX1& r) { handle_request(env.src, r); });
+      } else if (env.tag == kTagResolved) {
+        mps::for_each_packed<ResolvedX1>(
+            env.payload, [&](const ResolvedX1& r) { handle_resolved(r); });
+      } else {
+        PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
+      }
+    }
+    if (options_.flush_resolved_after_batch || unresolved_ == 0) {
+      res_buf_.flush_all();
+    }
+  }
+
+  void note_queue_depth(std::size_t depth) {
+    load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
+  }
+
+  void emit_edge(const graph::Edge& e) {
+    if (store_edges_) edges_.push_back(e);
+    if (options_.edge_sink) options_.edge_sink(comm_.rank(), e);
+    ++load_.edges;
+  }
+
+  struct Waiter {
+    NodeId t;
+    Rank owner;
+  };
+
+  const PaConfig& config_;
+  const ParallelOptions& options_;
+  const Partition& part_;
+  mps::Comm& comm_;
+  DrawSchema draws_;
+  bool store_edges_;
+
+  std::vector<NodeId> f_;                    // F by local index
+  std::vector<std::vector<Waiter>> waiters_;  // Q_k by local index
+  graph::EdgeList edges_;
+  std::vector<mps::Envelope> inbox_;
+  mps::SendBuffer<RequestX1> req_buf_;
+  mps::SendBuffer<ResolvedX1> res_buf_;
+  mps::DoneDetector done_;
+  RankLoad load_;
+  Count unresolved_ = 0;
+};
+
+}  // namespace
+
+ParallelResult generate_pa_x1(const PaConfig& config,
+                              const ParallelOptions& options) {
+  PAGEN_CHECK_MSG(config.x == 1, "generate_pa_x1 requires x == 1");
+  PAGEN_CHECK(config.n >= 2);
+  PAGEN_CHECK_MSG(config.p >= 0.0 && config.p <= 1.0, "p must be in [0, 1]");
+  PAGEN_CHECK(options.ranks >= 1);
+  PAGEN_CHECK_MSG(static_cast<NodeId>(options.ranks) <= config.n,
+                  "more ranks than nodes");
+
+  std::shared_ptr<const partition::Partition> part = options.custom_partition;
+  if (part) {
+    PAGEN_CHECK_MSG(part->num_nodes() == config.n &&
+                        part->num_parts() == options.ranks,
+                    "custom partition does not match (n, ranks)");
+  } else {
+    part = partition::make_partition(options.scheme, config.n, options.ranks);
+  }
+
+  const auto nranks = static_cast<std::size_t>(options.ranks);
+  std::vector<graph::EdgeList> edge_slots(nranks);
+  std::vector<std::vector<NodeId>> target_slots(nranks);
+  LoadVector load_slots(nranks);
+
+  const mps::RunResult run = mps::run_ranks(options.ranks, [&](mps::Comm& comm) {
+    RankX1 rank(config, options, *part, comm);
+    rank.run();
+    const auto slot = static_cast<std::size_t>(comm.rank());
+    load_slots[slot] = rank.load();
+    if (options.gather_edges || options.keep_shards) {
+      edge_slots[slot] = rank.take_edges();
+    }
+    if (options.gather_edges) {
+      target_slots[slot] = rank.take_targets();
+    }
+  });
+
+  ParallelResult result;
+  result.loads = std::move(load_slots);
+  result.comm_stats = run.rank_stats;
+  result.wall_seconds = run.wall_seconds;
+  for (const RankLoad& l : result.loads) result.total_edges += l.edges;
+
+  if (options.gather_edges) {
+    result.edges.reserve(result.total_edges);
+    for (auto& slot : edge_slots) {
+      result.edges.insert(result.edges.end(), slot.begin(), slot.end());
+      if (!options.keep_shards) slot.clear();
+    }
+    result.targets.assign(config.n, kNil);
+    for (Rank r = 0; r < options.ranks; ++r) {
+      const auto& slot = target_slots[static_cast<std::size_t>(r)];
+      for (Count idx = 0; idx < slot.size(); ++idx) {
+        result.targets[part->node_at(r, idx)] = slot[idx];
+      }
+    }
+  }
+  if (options.keep_shards) result.shards = std::move(edge_slots);
+  return result;
+}
+
+}  // namespace pagen::core

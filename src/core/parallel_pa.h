@@ -1,0 +1,58 @@
+// Algorithm 3.1: distributed-memory preferential attachment, x = 1.
+//
+// Every rank owns a slice of the nodes (per the chosen partitioning scheme)
+// and computes F_t for its own nodes.  A node whose F_t copies F_k asks k's
+// owner with a <request> message; unanswerable requests park in per-node
+// queues until F_k resolves, then cascade <resolved> messages to all
+// waiters.  Requests and responses are aggregated per destination
+// (send_buffer.h) and the run terminates through counting detection
+// (termination.h).
+//
+// With the counter-based draw schema the generated tree is bitwise identical
+// to baseline::copy_model_x1 for every rank count and partitioning scheme.
+#pragma once
+
+#include <vector>
+
+#include "baseline/pa_config.h"
+#include "core/load_stats.h"
+#include "core/options.h"
+#include "graph/edge_list.h"
+#include "mps/stats.h"
+#include "util/types.h"
+
+namespace pagen::core {
+
+struct ParallelResult {
+  /// All edges, gathered across ranks (empty when options.gather_edges is
+  /// false). Order is rank-concatenation order; normalize before comparing.
+  graph::EdgeList edges;
+
+  /// F_t per node (x = 1 only; kNil for node 0). Empty when gather_edges is
+  /// false.
+  std::vector<NodeId> targets;
+
+  /// Per-rank local edges (only when options.keep_shards). shards[r] holds
+  /// the edges whose newer endpoint is owned by rank r.
+  std::vector<graph::EdgeList> shards;
+
+  /// Algorithm-level per-rank load counters (Fig. 7 metrics).
+  LoadVector loads;
+
+  /// Runtime-level per-rank envelope/byte counters.
+  std::vector<mps::CommStats> comm_stats;
+
+  /// Wall-clock of the whole world (threads are oversubscribed on this
+  /// machine; see scaling_model.h for modeled parallel time).
+  double wall_seconds = 0.0;
+
+  /// Total edges generated (valid even when not gathered).
+  Count total_edges = 0;
+};
+
+/// Run Algorithm 3.1. Requires config.x == 1 and config.n >= 2, and
+/// options.ranks <= config.n.
+[[nodiscard]] ParallelResult generate_pa_x1(const PaConfig& config,
+                                            const ParallelOptions& options);
+
+}  // namespace pagen::core

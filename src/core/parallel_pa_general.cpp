@@ -1,0 +1,316 @@
+#include "core/parallel_pa_general.h"
+
+#include <chrono>
+
+#include "baseline/pa_draws.h"
+#include "core/pa_messages.h"
+#include "mps/engine.h"
+#include "mps/send_buffer.h"
+#include "mps/termination.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+using partition::Partition;
+
+constexpr std::chrono::milliseconds kIdleWait{20};
+constexpr std::uint64_t kMaxAttempts = 100000;
+
+/// Private state and protocol logic of one rank executing Algorithm 3.2.
+class RankXk {
+ public:
+  RankXk(const PaConfig& config, const ParallelOptions& options,
+         const Partition& part, mps::Comm& comm)
+      : config_(config),
+        options_(options),
+        part_(part),
+        comm_(comm),
+        draws_(config),
+        store_edges_(options.gather_edges || options.keep_shards),
+        x_(config.x),
+        slots_(part.part_size(comm.rank()) * config.x),
+        f_(slots_, kNil),
+        attempts_(slots_, 0),
+        locked_copy_(slots_, 0),
+        waiters_(slots_),
+        req_buf_(comm, kTagRequest, options.buffer_capacity),
+        res_buf_(comm, kTagResolved, options.buffer_capacity),
+        done_(comm, kTagDone, kTagStop) {
+    load_.nodes = part.part_size(comm.rank());
+  }
+
+  void run() {
+    comm_.barrier();
+
+    const Count my_nodes = part_.part_size(comm_.rank());
+    for (Count idx = 0; idx < my_nodes; ++idx) {
+      process_own_node(part_.node_at(comm_.rank(), idx));
+      if ((idx + 1) % options_.node_batch == 0) pump(false);
+    }
+    req_buf_.flush_all();
+
+    while (unresolved_ > 0) pump(true);
+
+    res_buf_.flush_all();
+    PAGEN_CHECK(res_buf_.empty());
+    done_.notify_local_done();
+    while (!done_.stopped()) pump(true);
+    res_buf_.flush_all();
+
+    comm_.barrier();
+  }
+
+  [[nodiscard]] RankLoad load() const { return load_; }
+  [[nodiscard]] graph::EdgeList&& take_edges() { return std::move(edges_); }
+
+ private:
+  [[nodiscard]] Count slot(NodeId t, std::uint32_t e) const {
+    return part_.local_index(t) * x_ + e;
+  }
+
+  /// True if v already is one of t's resolved endpoints (k ∈ F_t check).
+  [[nodiscard]] bool is_duplicate(NodeId t, NodeId v) const {
+    const Count base = part_.local_index(t) * x_;
+    for (NodeId e = 0; e < x_; ++e) {
+      if (f_[base + e] == v) return true;
+    }
+    return false;
+  }
+
+  void process_own_node(NodeId t) {
+    if (t < x_) {
+      // Initial clique: the larger endpoint emits each clique edge.
+      for (NodeId i = 0; i < t; ++i) emit_edge({t, i});
+      return;
+    }
+    if (t == x_) {
+      // Bootstrap convention (DESIGN.md §5): node x connects to the whole
+      // clique, so F_x(e) = e deterministically.
+      for (std::uint32_t e = 0; e < x_; ++e) {
+        ++unresolved_;
+        assign(t, e, e);
+      }
+      return;
+    }
+    for (std::uint32_t e = 0; e < x_; ++e) {
+      ++unresolved_;
+      try_edge(t, e);
+    }
+  }
+
+  /// Drive edge (t, e) forward until it is assigned, parked in a local
+  /// queue, or waiting on a remote request (Lines 3-14 and 26-29).
+  void try_edge(NodeId t, std::uint32_t e) {
+    const Count s = slot(t, e);
+    for (;;) {
+      const std::uint64_t attempt = attempts_[s];
+      PAGEN_CHECK_MSG(attempt < kMaxAttempts,
+                      "duplicate-retry cap exceeded at node " << t);
+      const NodeId k = draws_.pick_k(t, e, attempt);
+      if (locked_copy_[s] == 0 && draws_.pick_direct(t, e, attempt)) {
+        if (!is_duplicate(t, k)) {
+          assign(t, e, k);  // Lines 7-8
+          return;
+        }
+        ++attempts_[s];  // Lines 9-10: fresh k and coin
+        ++load_.retries;
+        continue;
+      }
+      const auto l = static_cast<std::uint32_t>(draws_.pick_l(t, e, attempt));
+      const Rank owner = part_.owner(k);
+      if (owner != comm_.rank()) {
+        req_buf_.add(owner, {t, k, e, l});  // Line 14
+        ++load_.requests_sent;
+        return;
+      }
+      const Count ks = slot(k, l);
+      if (f_[ks] == kNil) {
+        waiters_[ks].push_back({t, e, comm_.rank()});  // local Q_{k,l}
+        ++load_.local_waits;
+        note_queue_depth(waiters_[ks].size());
+        return;
+      }
+      const NodeId v = f_[ks];
+      if (!is_duplicate(t, v)) {
+        assign(t, e, v);
+        return;
+      }
+      locked_copy_[s] = 1;  // Lines 26-29: stay on the copy path
+      ++attempts_[s];
+      ++load_.retries;
+    }
+  }
+
+  /// F_t(e) := v; emit the edge and answer everyone queued on (t, e).
+  void assign(NodeId t, std::uint32_t e, NodeId v) {
+    const Count s = slot(t, e);
+    PAGEN_CHECK_MSG(f_[s] == kNil, "double assign of (" << t << "," << e << ")");
+    PAGEN_DCHECK(!is_duplicate(t, v));
+    f_[s] = v;
+    PAGEN_CHECK(unresolved_ > 0);
+    --unresolved_;
+    emit_edge({t, v});
+    for (const Waiter& w : waiters_[s]) {
+      if (w.owner == comm_.rank()) {
+        on_resolved(w.t, w.e, v);
+      } else {
+        res_buf_.add(w.owner, {w.t, v, w.e});
+        ++load_.resolved_sent;
+      }
+    }
+    waiters_[s].clear();
+    waiters_[s].shrink_to_fit();
+  }
+
+  /// A value arrived for edge (t, e) — either accept it or retry on the
+  /// copy path (Lines 21-29).
+  void on_resolved(NodeId t, std::uint32_t e, NodeId v) {
+    if (is_duplicate(t, v)) {
+      const Count s = slot(t, e);
+      locked_copy_[s] = 1;
+      ++attempts_[s];
+      ++load_.retries;
+      try_edge(t, e);
+      return;
+    }
+    assign(t, e, v);
+  }
+
+  void handle_request(Rank src, const RequestXk& req) {
+    ++load_.requests_received;
+    PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
+    const Count ks = slot(req.k, req.l);
+    if (f_[ks] != kNil) {
+      res_buf_.add(src, {req.t, f_[ks], req.e});  // Lines 17-18
+      ++load_.resolved_sent;
+    } else {
+      waiters_[ks].push_back({req.t, req.e, src});  // Lines 19-20
+      ++load_.queued;
+      note_queue_depth(waiters_[ks].size());
+    }
+  }
+
+  void pump(bool blocking) {
+    inbox_.clear();
+    const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
+                              : comm_.poll(inbox_);
+    if (!got) return;
+    for (const mps::Envelope& env : inbox_) {
+      if (done_.handle(env)) continue;
+      if (env.tag == kTagRequest) {
+        mps::for_each_packed<RequestXk>(
+            env.payload, [&](const RequestXk& r) { handle_request(env.src, r); });
+      } else if (env.tag == kTagResolved) {
+        mps::for_each_packed<ResolvedXk>(
+            env.payload, [&](const ResolvedXk& r) {
+              ++load_.resolved_received;
+              on_resolved(r.t, r.e, r.v);
+            });
+      } else {
+        PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
+      }
+    }
+    if (options_.flush_resolved_after_batch || unresolved_ == 0) {
+      res_buf_.flush_all();
+    }
+    // Retries triggered by duplicates may have produced fresh requests; in
+    // the waiting phases nothing else flushes them.
+    req_buf_.flush_all();
+  }
+
+  void note_queue_depth(std::size_t depth) {
+    load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
+  }
+
+  void emit_edge(const graph::Edge& e) {
+    if (store_edges_) edges_.push_back(e);
+    if (options_.edge_sink) options_.edge_sink(comm_.rank(), e);
+    ++load_.edges;
+  }
+
+  struct Waiter {
+    NodeId t;
+    std::uint32_t e;
+    Rank owner;
+  };
+
+  const PaConfig& config_;
+  const ParallelOptions& options_;
+  const Partition& part_;
+  mps::Comm& comm_;
+  DrawSchema draws_;
+  bool store_edges_;
+  NodeId x_;
+
+  Count slots_;
+  std::vector<NodeId> f_;                    // F_t(e) by slot
+  std::vector<std::uint32_t> attempts_;      // per-slot draw attempt counter
+  std::vector<std::uint8_t> locked_copy_;    // per-slot Lines 26-29 latch
+  std::vector<std::vector<Waiter>> waiters_;  // Q_{k,l} by slot
+  graph::EdgeList edges_;
+  std::vector<mps::Envelope> inbox_;
+  mps::SendBuffer<RequestXk> req_buf_;
+  mps::SendBuffer<ResolvedXk> res_buf_;
+  mps::DoneDetector done_;
+  RankLoad load_;
+  Count unresolved_ = 0;
+};
+
+}  // namespace
+
+ParallelResult generate_pa_general(const PaConfig& config,
+                                   const ParallelOptions& options) {
+  PAGEN_CHECK(config.x >= 1);
+  if (config.x == 1) return generate_pa_x1(config, options);
+  PAGEN_CHECK_MSG(config.n > config.x, "need n > x");
+  PAGEN_CHECK_MSG(config.p >= 0.0 && config.p <= 1.0, "p must be in [0, 1]");
+  // p == 1 never takes the copy path, and node x+1's only direct candidate
+  // is node x — the x distinct endpoints Algorithm 3.2 requires cannot
+  // exist. (p == 1 is fine for x == 1.)
+  PAGEN_CHECK_MSG(config.p < 1.0, "p must be below 1 for x > 1");
+  PAGEN_CHECK(options.ranks >= 1);
+  PAGEN_CHECK_MSG(static_cast<NodeId>(options.ranks) <= config.n,
+                  "more ranks than nodes");
+
+  std::shared_ptr<const partition::Partition> part = options.custom_partition;
+  if (part) {
+    PAGEN_CHECK_MSG(part->num_nodes() == config.n &&
+                        part->num_parts() == options.ranks,
+                    "custom partition does not match (n, ranks)");
+  } else {
+    part = partition::make_partition(options.scheme, config.n, options.ranks);
+  }
+
+  const auto nranks = static_cast<std::size_t>(options.ranks);
+  std::vector<graph::EdgeList> edge_slots(nranks);
+  LoadVector load_slots(nranks);
+
+  const mps::RunResult run = mps::run_ranks(options.ranks, [&](mps::Comm& comm) {
+    RankXk rank(config, options, *part, comm);
+    rank.run();
+    const auto slot = static_cast<std::size_t>(comm.rank());
+    load_slots[slot] = rank.load();
+    if (options.gather_edges || options.keep_shards) {
+      edge_slots[slot] = rank.take_edges();
+    }
+  });
+
+  ParallelResult result;
+  result.loads = std::move(load_slots);
+  result.comm_stats = run.rank_stats;
+  result.wall_seconds = run.wall_seconds;
+  for (const RankLoad& l : result.loads) result.total_edges += l.edges;
+
+  if (options.gather_edges) {
+    result.edges.reserve(result.total_edges);
+    for (auto& slot : edge_slots) {
+      result.edges.insert(result.edges.end(), slot.begin(), slot.end());
+      if (!options.keep_shards) slot.clear();
+    }
+  }
+  if (options.keep_shards) result.shards = std::move(edge_slots);
+  return result;
+}
+
+}  // namespace pagen::core

@@ -1,0 +1,41 @@
+#include "core/scaling_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pagen::core {
+
+CostModel calibrate_cost_model(double seconds, Count nodes,
+                               double msg_cost_ratio) {
+  PAGEN_CHECK(seconds > 0.0 && nodes > 0);
+  CostModel m;
+  m.sec_per_node = seconds / static_cast<double>(nodes);
+  m.sec_per_message = m.sec_per_node * msg_cost_ratio;
+  return m;
+}
+
+double modeled_parallel_seconds(const CostModel& model,
+                                std::span<const RankLoad> loads) {
+  PAGEN_CHECK(!loads.empty());
+  double slowest = 0.0;
+  for (const RankLoad& l : loads) {
+    const double t = model.sec_per_node * static_cast<double>(l.nodes) +
+                     model.sec_per_message * static_cast<double>(l.total_messages());
+    slowest = std::max(slowest, t);
+  }
+  const double hops =
+      loads.size() > 1 ? std::ceil(std::log2(static_cast<double>(loads.size())))
+                       : 0.0;
+  return slowest + model.sec_per_collective_hop * hops;
+}
+
+double modeled_sequential_seconds(const CostModel& model,
+                                  std::span<const RankLoad> loads) {
+  Count nodes = 0;
+  for (const RankLoad& l : loads) nodes += l.nodes;
+  return model.sec_per_node * static_cast<double>(nodes);
+}
+
+}  // namespace pagen::core

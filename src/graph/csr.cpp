@@ -1,0 +1,67 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace pagen::graph {
+
+CsrGraph::CsrGraph(std::span<const Edge> edges, NodeId n)
+    : n_(n), m_(edges.size()), offsets_(n + 1, 0) {
+  for (const Edge& e : edges) {
+    PAGEN_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+
+  adjacency_.resize(2 * m_);
+  std::vector<Count> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  PAGEN_CHECK(u < n_ && v < n_);
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+NodeId CsrGraph::max_degree_node() const {
+  NodeId best = kNil;
+  Count best_deg = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (best == kNil || degree(v) > best_deg) {
+      best = v;
+      best_deg = degree(v);
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> CsrGraph::bfs_distances(NodeId source) const {
+  PAGEN_CHECK(source < n_);
+  std::vector<NodeId> dist(n_, kNil);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (NodeId w : neighbors(v)) {
+      if (dist[w] == kNil) {
+        dist[w] = dist[v] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace pagen::graph

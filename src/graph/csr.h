@@ -1,0 +1,48 @@
+// Compressed sparse row adjacency built from an edge list.
+//
+// The analysis passes (clustering samples, hub extraction, BFS distance
+// probes in the examples) operate on CSR rather than edge lists.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::graph {
+
+class CsrGraph {
+ public:
+  /// Build an undirected CSR over nodes [0, n). Each edge (u, v) appears in
+  /// both u's and v's adjacency. Neighbor lists are sorted ascending.
+  CsrGraph(std::span<const Edge> edges, NodeId n);
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+  [[nodiscard]] Count num_edges() const { return m_; }
+
+  [[nodiscard]] Count degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True if (u, v) is an edge; O(log deg(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Node with the largest degree (ties to the smallest id); kNil when empty.
+  [[nodiscard]] NodeId max_degree_node() const;
+
+  /// Breadth-first distances from `source`; unreachable nodes get kNil.
+  [[nodiscard]] std::vector<NodeId> bfs_distances(NodeId source) const;
+
+ private:
+  NodeId n_;
+  Count m_;
+  std::vector<Count> offsets_;     // size n_ + 1
+  std::vector<NodeId> adjacency_;  // size 2 * m_
+};
+
+}  // namespace pagen::graph

@@ -1,0 +1,102 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace pagen::graph {
+
+NodeId num_nodes(std::span<const Edge> edges) {
+  NodeId maxv = 0;
+  bool any = false;
+  for (const Edge& e : edges) {
+    maxv = std::max({maxv, e.u, e.v});
+    any = true;
+  }
+  return any ? maxv + 1 : 0;
+}
+
+void normalize(EdgeList& edges) {
+  for (Edge& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+}
+
+Count count_self_loops(std::span<const Edge> edges) {
+  Count c = 0;
+  for (const Edge& e : edges) {
+    if (e.u == e.v) ++c;
+  }
+  return c;
+}
+
+Count count_duplicates(std::span<const Edge> edges) {
+  EdgeList copy(edges.begin(), edges.end());
+  normalize(copy);
+  Count dups = 0;
+  for (std::size_t i = 1; i < copy.size(); ++i) {
+    if (copy[i] == copy[i - 1]) ++dups;
+  }
+  return dups;
+}
+
+std::vector<Count> degree_sequence(std::span<const Edge> edges, NodeId n) {
+  std::vector<Count> deg(n, 0);
+  for (const Edge& e : edges) {
+    PAGEN_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+namespace {
+
+// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<Count> size_;
+};
+
+}  // namespace
+
+Count connected_components(std::span<const Edge> edges, NodeId n) {
+  if (n == 0) return 0;
+  UnionFind uf(n);
+  Count components = n;
+  for (const Edge& e : edges) {
+    PAGEN_CHECK(e.u < n && e.v < n);
+    if (uf.unite(e.u, e.v)) --components;
+  }
+  return components;
+}
+
+}  // namespace pagen::graph

@@ -1,0 +1,50 @@
+// Edge lists and simple-graph audits.
+//
+// Generators produce undirected edges (t, F_t(e)). The audits here back the
+// correctness tests: Algorithm 3.2 must never emit self-loops or parallel
+// edges, and must emit exactly clique(x) + (n - x) * x edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pagen::graph {
+
+/// One undirected edge. Generators emit (new node, chosen endpoint).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// Largest endpoint + 1; 0 for an empty list.
+[[nodiscard]] NodeId num_nodes(std::span<const Edge> edges);
+
+/// Canonicalize each edge to (min, max) and sort lexicographically.
+/// After this, duplicates are adjacent.
+void normalize(EdgeList& edges);
+
+/// Number of self-loop edges (u == v).
+[[nodiscard]] Count count_self_loops(std::span<const Edge> edges);
+
+/// Number of duplicate undirected edges, i.e. edges beyond the first
+/// occurrence of each endpoint pair. Takes a copy internally (the input is
+/// not reordered).
+[[nodiscard]] Count count_duplicates(std::span<const Edge> edges);
+
+/// Degree of every node in [0, n): each undirected edge contributes one to
+/// both endpoints.
+[[nodiscard]] std::vector<Count> degree_sequence(std::span<const Edge> edges,
+                                                 NodeId n);
+
+/// Number of connected components over nodes [0, n) (isolated nodes each
+/// count as one component). Union-find with path halving.
+[[nodiscard]] Count connected_components(std::span<const Edge> edges, NodeId n);
+
+}  // namespace pagen::graph

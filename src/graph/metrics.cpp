@@ -1,0 +1,144 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::graph {
+namespace {
+
+/// Triangles through v = edges among v's neighbors; counted via sorted
+/// adjacency intersection.
+Count triangles_at(const CsrGraph& g, NodeId v) {
+  const auto nb = g.neighbors(v);
+  Count triangles = 0;
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    for (std::size_t j = i + 1; j < nb.size(); ++j) {
+      if (g.has_edge(nb[i], nb[j])) ++triangles;
+    }
+  }
+  return triangles;
+}
+
+}  // namespace
+
+double global_clustering(const CsrGraph& g) {
+  Count closed = 0;  // ordered wedge closures = 3 * triangles (per vertex)
+  Count wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Count d = g.degree(v);
+    if (d < 2) continue;
+    wedges += d * (d - 1) / 2;
+    closed += triangles_at(g, v);
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+double sampled_local_clustering(const CsrGraph& g, std::size_t samples,
+                                std::uint64_t seed) {
+  PAGEN_CHECK(samples >= 1);
+  rng::Xoshiro256pp rng(seed);
+  double acc = 0.0;
+  std::size_t used = 0;
+  // Rejection-sample nodes of degree >= 2; cap attempts to avoid spinning
+  // on degenerate graphs.
+  for (std::size_t attempt = 0; attempt < samples * 50 && used < samples;
+       ++attempt) {
+    const NodeId v = rng.below(g.num_nodes());
+    const Count d = g.degree(v);
+    if (d < 2) continue;
+    const double possible = static_cast<double>(d) * (d - 1) / 2.0;
+    acc += static_cast<double>(triangles_at(g, v)) / possible;
+    ++used;
+  }
+  return used == 0 ? 0.0 : acc / static_cast<double>(used);
+}
+
+double degree_assortativity(const CsrGraph& g) {
+  // Pearson correlation over directed edge endpoint pairs (each undirected
+  // edge contributes both orientations, the standard symmetrization).
+  double sx = 0, sxx = 0, sxy = 0;
+  Count pairs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dv = static_cast<double>(g.degree(v));
+    for (NodeId w : g.neighbors(v)) {
+      const auto dw = static_cast<double>(g.degree(w));
+      sx += dv;
+      sxx += dv * dv;
+      sxy += dv * dw;
+      ++pairs;
+    }
+  }
+  if (pairs == 0) return 0.0;
+  const auto n = static_cast<double>(pairs);
+  const double mean = sx / n;
+  const double var = sxx / n - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = sxy / n - mean * mean;
+  return cov / var;
+}
+
+Count double_sweep_diameter(const CsrGraph& g, NodeId seed_node) {
+  PAGEN_CHECK(seed_node < g.num_nodes());
+  auto farthest = [&](NodeId from) {
+    const auto dist = g.bfs_distances(from);
+    NodeId best = from;
+    Count best_d = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] != kNil && dist[v] > best_d) {
+        best_d = dist[v];
+        best = v;
+      }
+    }
+    return std::pair{best, best_d};
+  };
+  const auto [far_node, d1] = farthest(seed_node);
+  const auto [far2, d2] = farthest(far_node);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+std::vector<KnnPoint> average_neighbor_degree(const CsrGraph& g) {
+  // Accumulate (sum of mean neighbor degrees, node count) per degree class.
+  std::map<Count, std::pair<double, Count>> classes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Count d = g.degree(v);
+    if (d == 0) continue;
+    double acc = 0.0;
+    for (NodeId w : g.neighbors(v)) acc += static_cast<double>(g.degree(w));
+    auto& [sum, count] = classes[d];
+    sum += acc / static_cast<double>(d);
+    ++count;
+  }
+  std::vector<KnnPoint> out;
+  out.reserve(classes.size());
+  for (const auto& [degree, entry] : classes) {
+    out.push_back({degree, entry.first / static_cast<double>(entry.second),
+                   entry.second});
+  }
+  return out;
+}
+
+double sampled_mean_distance(const CsrGraph& g, std::size_t samples,
+                             std::uint64_t seed) {
+  PAGEN_CHECK(samples >= 1);
+  rng::Xoshiro256pp rng(seed);
+  double acc = 0.0;
+  Count pairs = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const NodeId source = rng.below(g.num_nodes());
+    const auto dist = g.bfs_distances(source);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != source && dist[v] != kNil) {
+        acc += static_cast<double>(dist[v]);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : acc / static_cast<double>(pairs);
+}
+
+}  // namespace pagen::graph

@@ -1,0 +1,49 @@
+// Structural graph metrics used by the examples and the analysis pipeline.
+//
+// Exact computations where cheap; sampled estimators (with an explicit
+// sample size) where the exact cost would be super-linear — PA networks
+// reach millions of edges in this repo's default workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "util/types.h"
+
+namespace pagen::graph {
+
+/// Global clustering coefficient (transitivity): 3*triangles / wedges.
+/// Exact; cost O(sum_v deg(v)^2 / 2) — fine up to moderate densities.
+[[nodiscard]] double global_clustering(const CsrGraph& g);
+
+/// Mean local clustering coefficient over `samples` uniformly chosen nodes
+/// of degree >= 2 (Watts–Strogatz definition). Deterministic in `seed`.
+[[nodiscard]] double sampled_local_clustering(const CsrGraph& g,
+                                              std::size_t samples,
+                                              std::uint64_t seed);
+
+/// Degree assortativity: Pearson correlation of endpoint degrees over all
+/// edges (Newman 2002). Negative for PA networks (hubs attach to leaves).
+[[nodiscard]] double degree_assortativity(const CsrGraph& g);
+
+/// Lower bound on the diameter by a double BFS sweep (start at `seed_node`,
+/// run BFS, restart from the farthest node). Ignores unreachable nodes.
+[[nodiscard]] Count double_sweep_diameter(const CsrGraph& g, NodeId seed_node);
+
+/// Mean shortest-path length from `samples` random sources to all their
+/// reachable targets (the small-world statistic). Deterministic in `seed`.
+[[nodiscard]] double sampled_mean_distance(const CsrGraph& g,
+                                           std::size_t samples,
+                                           std::uint64_t seed);
+
+/// Average neighbor degree as a function of node degree — knn(d), the
+/// standard mixing diagnostic (Pastor-Satorras et al.): decreasing knn(d)
+/// means disassortative mixing, the signature of growth-model PA networks.
+struct KnnPoint {
+  Count degree = 0;   ///< node degree class
+  double knn = 0.0;   ///< mean degree of neighbors of nodes in this class
+  Count nodes = 0;    ///< class size
+};
+[[nodiscard]] std::vector<KnnPoint> average_neighbor_degree(const CsrGraph& g);
+
+}  // namespace pagen::graph

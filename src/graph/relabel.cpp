@@ -1,0 +1,44 @@
+#include "graph/relabel.h"
+
+#include <numeric>
+
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::graph {
+
+std::vector<NodeId> random_permutation(NodeId n, std::uint64_t seed) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  rng::Xoshiro256pp rng(seed);
+  for (NodeId i = n; i > 1; --i) {
+    const NodeId j = rng.below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+EdgeList relabel(std::span<const Edge> edges,
+                 std::span<const NodeId> permutation) {
+  EdgeList out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    PAGEN_CHECK_MSG(e.u < permutation.size() && e.v < permutation.size(),
+                    "endpoint outside the permutation's domain");
+    out.push_back({permutation[e.u], permutation[e.v]});
+  }
+  return out;
+}
+
+std::vector<NodeId> invert_permutation(std::span<const NodeId> permutation) {
+  std::vector<NodeId> inverse(permutation.size(), kNil);
+  for (NodeId i = 0; i < permutation.size(); ++i) {
+    const NodeId target = permutation[i];
+    PAGEN_CHECK_MSG(target < permutation.size() && inverse[target] == kNil,
+                    "input is not a permutation");
+    inverse[target] = i;
+  }
+  return inverse;
+}
+
+}  // namespace pagen::graph

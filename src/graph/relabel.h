@@ -1,0 +1,30 @@
+// Node relabeling utilities.
+//
+// PA generators correlate node label with age (and therefore degree); many
+// downstream consumers — partitioners, samplers, anonymized releases —
+// want that correlation destroyed. A seeded Fisher–Yates permutation keeps
+// the operation reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace pagen::graph {
+
+/// Uniform random permutation of [0, n) (Fisher–Yates, seeded).
+[[nodiscard]] std::vector<NodeId> random_permutation(NodeId n,
+                                                     std::uint64_t seed);
+
+/// Apply `permutation` to every endpoint: new id of u is permutation[u].
+[[nodiscard]] EdgeList relabel(std::span<const Edge> edges,
+                               std::span<const NodeId> permutation);
+
+/// Inverse permutation: inverse[permutation[i]] == i.
+[[nodiscard]] std::vector<NodeId> invert_permutation(
+    std::span<const NodeId> permutation);
+
+}  // namespace pagen::graph

@@ -1,0 +1,96 @@
+#include "graph/sharded_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/io.h"
+#include "util/error.h"
+
+namespace pagen::graph {
+namespace {
+
+constexpr const char* kManifestName = "manifest.pagen";
+
+}  // namespace
+
+std::string shard_path(const std::string& dir, int rank) {
+  std::ostringstream os;
+  os << dir << "/edges." << rank << ".shard";
+  return os.str();
+}
+
+void write_shard(const std::string& dir, int rank,
+                 std::span<const Edge> edges) {
+  std::filesystem::create_directories(dir);
+  save_binary(shard_path(dir, rank), edges);
+}
+
+void write_manifest(const std::string& dir, NodeId num_nodes,
+                    std::span<const EdgeList> shards) {
+  // Verify every shard file round-trips with the expected count before
+  // committing the manifest — a missing shard must fail loudly now, not at
+  // load time on another machine.
+  for (int r = 0; r < static_cast<int>(shards.size()); ++r) {
+    const auto on_disk = load_shard(dir, r);
+    PAGEN_CHECK_MSG(on_disk.size() == shards[static_cast<std::size_t>(r)].size(),
+                    "shard " << r << " on disk has " << on_disk.size()
+                             << " edges, expected "
+                             << shards[static_cast<std::size_t>(r)].size());
+  }
+  std::ofstream os(dir + "/" + kManifestName);
+  PAGEN_CHECK_MSG(os.is_open(), "cannot write manifest in " << dir);
+  os << "pagen-shards 1\n";
+  os << "nodes " << num_nodes << "\n";
+  os << "shards " << shards.size() << "\n";
+  for (const auto& shard : shards) os << shard.size() << "\n";
+  PAGEN_CHECK(os.good());
+}
+
+void save_sharded(const std::string& dir, NodeId num_nodes,
+                  std::span<const EdgeList> shards) {
+  for (int r = 0; r < static_cast<int>(shards.size()); ++r) {
+    write_shard(dir, r, shards[static_cast<std::size_t>(r)]);
+  }
+  write_manifest(dir, num_nodes, shards);
+}
+
+ShardManifest load_manifest(const std::string& dir) {
+  std::ifstream is(dir + "/" + kManifestName);
+  PAGEN_CHECK_MSG(is.is_open(), "no manifest in " << dir);
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  PAGEN_CHECK_MSG(magic == "pagen-shards" && version == 1,
+                  "unrecognized manifest header");
+  ShardManifest m;
+  std::string key;
+  is >> key >> m.num_nodes;
+  PAGEN_CHECK(key == "nodes");
+  is >> key >> m.num_shards;
+  PAGEN_CHECK(key == "shards" && m.num_shards >= 0);
+  m.shard_edge_counts.resize(static_cast<std::size_t>(m.num_shards));
+  for (auto& c : m.shard_edge_counts) is >> c;
+  PAGEN_CHECK_MSG(is.good() || is.eof(), "truncated manifest");
+  return m;
+}
+
+EdgeList load_shard(const std::string& dir, int rank) {
+  return load_binary(shard_path(dir, rank));
+}
+
+EdgeList load_all_shards(const std::string& dir) {
+  const ShardManifest m = load_manifest(dir);
+  EdgeList all;
+  all.reserve(m.total_edges());
+  for (int r = 0; r < m.num_shards; ++r) {
+    const auto shard = load_shard(dir, r);
+    PAGEN_CHECK_MSG(
+        shard.size() == m.shard_edge_counts[static_cast<std::size_t>(r)],
+        "shard " << r << " edge count disagrees with manifest");
+    all.insert(all.end(), shard.begin(), shard.end());
+  }
+  return all;
+}
+
+}  // namespace pagen::graph

@@ -1,0 +1,56 @@
+// Per-rank sharded edge persistence.
+//
+// The paper's execution model: "The processors have a shared file system and
+// they read-write data files from the same external memory. However, such
+// reading and writing of the files are done independently."  A sharded
+// store is a directory holding one checksummed binary edge file per rank
+// plus a manifest; ranks write their shard without coordination and a
+// loader reassembles (or selectively reads) them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace pagen::graph {
+
+struct ShardManifest {
+  NodeId num_nodes = 0;
+  int num_shards = 0;
+  std::vector<Count> shard_edge_counts;
+
+  [[nodiscard]] Count total_edges() const {
+    Count total = 0;
+    for (Count c : shard_edge_counts) total += c;
+    return total;
+  }
+};
+
+/// Path of shard `rank` inside `dir`.
+[[nodiscard]] std::string shard_path(const std::string& dir, int rank);
+
+/// Write one shard file (safe to call concurrently for distinct ranks).
+void write_shard(const std::string& dir, int rank,
+                 std::span<const Edge> edges);
+
+/// Write the manifest after all shards exist. Verifies each shard is
+/// present and its edge count matches.
+void write_manifest(const std::string& dir, NodeId num_nodes,
+                    std::span<const EdgeList> shards);
+
+/// Convenience: write all shards + manifest from one process.
+void save_sharded(const std::string& dir, NodeId num_nodes,
+                  std::span<const EdgeList> shards);
+
+/// Read the manifest; throws CheckError if absent or malformed.
+[[nodiscard]] ShardManifest load_manifest(const std::string& dir);
+
+/// Load a single shard.
+[[nodiscard]] EdgeList load_shard(const std::string& dir, int rank);
+
+/// Load and concatenate every shard in rank order; validates counts
+/// against the manifest.
+[[nodiscard]] EdgeList load_all_shards(const std::string& dir);
+
+}  // namespace pagen::graph

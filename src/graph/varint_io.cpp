@@ -1,0 +1,117 @@
+#include "graph/varint_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace pagen::graph {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'G', 'E', 'N', 'V', 'I', '1'};
+
+}  // namespace
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& buf,
+                         std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    PAGEN_CHECK_MSG(pos < buf.size(), "truncated varint stream");
+    const std::uint8_t byte = buf[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  PAGEN_CHECK_MSG(false, "overlong varint");
+  return 0;
+}
+
+void write_varint_edges(std::ostream& os, std::span<const Edge> edges) {
+  EdgeList sorted(edges.begin(), edges.end());
+  normalize(sorted);
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(sorted.size() * 3);
+  NodeId prev_u = 0;
+  NodeId prev_v = 0;
+  for (const Edge& e : sorted) {
+    const NodeId du = e.u - prev_u;  // non-negative: sorted by (u, v)
+    put_varint(buf, du);
+    if (du == 0) {
+      // Same u-run: v is strictly increasing after dedup-free normalize
+      // (duplicates permitted: delta may be 0).
+      put_varint(buf, e.v - prev_v);
+    } else {
+      put_varint(buf, e.v);
+    }
+    prev_u = e.u;
+    prev_v = e.v;
+  }
+
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = sorted.size();
+  const std::uint64_t bytes = buf.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+  PAGEN_CHECK_MSG(os.good(), "varint edge write failed");
+}
+
+EdgeList read_varint_edges(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  PAGEN_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(magic)) == 0,
+                  "bad varint edge-file magic");
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  is.read(reinterpret_cast<char*>(&bytes), sizeof(bytes));
+  PAGEN_CHECK(is.good());
+  std::vector<std::uint8_t> buf(bytes);
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(bytes));
+  PAGEN_CHECK_MSG(is.good(), "truncated varint edge file");
+
+  EdgeList edges;
+  edges.reserve(count);
+  std::size_t pos = 0;
+  NodeId prev_u = 0;
+  NodeId prev_v = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const NodeId du = get_varint(buf, pos);
+    const NodeId u = prev_u + du;
+    const NodeId v = du == 0 ? prev_v + get_varint(buf, pos)
+                             : static_cast<NodeId>(get_varint(buf, pos));
+    edges.push_back({u, v});
+    prev_u = u;
+    prev_v = v;
+  }
+  PAGEN_CHECK_MSG(pos == buf.size(), "trailing bytes in varint edge file");
+  return edges;
+}
+
+void save_varint(const std::string& path, std::span<const Edge> edges) {
+  std::ofstream os(path, std::ios::binary);
+  PAGEN_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_varint_edges(os, edges);
+}
+
+EdgeList load_varint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PAGEN_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  return read_varint_edges(is);
+}
+
+}  // namespace pagen::graph

@@ -1,0 +1,71 @@
+// Bulk-synchronous superstep helper.
+//
+// Several analytics passes (distributed degree counting, distributed
+// connected components) follow the same pattern: every rank buffers typed
+// messages, flushes, synchronizes, then drains and processes everything
+// addressed to it. In this runtime that pattern is exact — send_bytes
+// enqueues into the destination mailbox before returning, so a barrier
+// establishes happens-before and a single drain observes all traffic of
+// the superstep. (The MPI analogue is an MPI_Alltoallv or a barrier over
+// buffered nonblocking sends.)
+#pragma once
+
+#include <vector>
+
+#include "mps/comm.h"
+#include "mps/send_buffer.h"
+
+namespace pagen::mps {
+
+/// Complete one superstep: flush `buffer`, barrier, drain this rank's
+/// mailbox and invoke `handler(item)` for every packed T addressed to us,
+/// then barrier again. The trailing barrier is what makes chained
+/// supersteps safe: without it a fast rank could start the next step and
+/// its (capacity- or flush-triggered) sends would land in a peer's mailbox
+/// while that peer is still draining this step. For the same reason the
+/// handler must NOT send (a capacity auto-flush inside the handler emits
+/// next-step envelopes into peers still draining this step) — collect
+/// items and respond after the exchange returns. Every rank of the world
+/// must call this the same number of times. Returns the number of items
+/// received.
+template <typename T, typename Handler>
+Count bsp_exchange(Comm& comm, SendBuffer<T>& buffer, int tag,
+                   Handler&& handler) {
+  buffer.flush_all();
+  comm.barrier();
+  std::vector<Envelope> inbox;
+  comm.poll(inbox);
+  Count received = 0;
+  for (const Envelope& env : inbox) {
+    PAGEN_CHECK_MSG(env.tag == tag,
+                    "unexpected tag " << env.tag << " in BSP superstep");
+    for_each_packed<T>(env.payload, [&](const T& item) {
+      handler(item);
+      ++received;
+    });
+  }
+  comm.barrier();
+  return received;
+}
+
+/// Two-superstep query/reply round: deliver every TQuery to its owner, let
+/// `answer(query) -> (destination, TReply)` produce replies (outside the
+/// handler, so auto-flushes cannot leak across steps), deliver the replies,
+/// and hand each to `absorb`. Returns the number of replies received.
+template <typename TQuery, typename TReply, typename Answer, typename Absorb>
+Count bsp_query_reply(Comm& comm, SendBuffer<TQuery>& queries, int query_tag,
+                      int reply_tag, std::size_t reply_capacity,
+                      Answer&& answer, Absorb&& absorb) {
+  std::vector<TQuery> pending;
+  bsp_exchange<TQuery>(comm, queries, query_tag,
+                       [&](const TQuery& q) { pending.push_back(q); });
+  SendBuffer<TReply> replies(comm, reply_tag, reply_capacity);
+  for (const TQuery& q : pending) {
+    auto [dst, reply] = answer(q);
+    replies.add(dst, reply);
+  }
+  return bsp_exchange<TReply>(comm, replies, reply_tag,
+                              std::forward<Absorb>(absorb));
+}
+
+}  // namespace pagen::mps

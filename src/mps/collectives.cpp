@@ -1,0 +1,44 @@
+#include "mps/collectives.h"
+
+#include "util/error.h"
+
+namespace pagen::mps {
+
+CollectiveContext::CollectiveContext(int nranks)
+    : nranks_(nranks), slots_(static_cast<std::size_t>(nranks)) {
+  PAGEN_CHECK(nranks >= 1);
+}
+
+std::vector<std::vector<std::byte>> CollectiveContext::exchange(
+    Rank rank, std::vector<std::byte> in) {
+  PAGEN_CHECK(rank >= 0 && rank < nranks_);
+  std::unique_lock lock(mutex_);
+  if (poisoned_) throw WorldAborted();
+  slots_[static_cast<std::size_t>(rank)] = std::move(in);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == nranks_) {
+    // Last arriver publishes the round and opens the next one. `published_`
+    // cannot be overwritten until every rank of this round has re-entered
+    // exchange(), which requires them to first copy it out below.
+    published_ = std::move(slots_);
+    slots_.assign(static_cast<std::size_t>(nranks_), {});
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock,
+             [&] { return generation_ != my_generation || poisoned_; });
+    if (generation_ == my_generation && poisoned_) throw WorldAborted();
+  }
+  return published_;
+}
+
+void CollectiveContext::poison() {
+  {
+    std::lock_guard lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace pagen::mps

@@ -1,0 +1,122 @@
+#include "mps/comm.h"
+
+#include "mps/engine.h"
+#include "util/error.h"
+
+namespace pagen::mps {
+namespace {
+
+std::vector<std::byte> encode_u64(std::uint64_t v) {
+  std::vector<std::byte> b;
+  pack_one(b, v);
+  return b;
+}
+
+std::uint64_t decode_u64(const std::vector<std::byte>& b) {
+  const auto items = unpack<std::uint64_t>(b);
+  PAGEN_CHECK(items.size() == 1);
+  return items[0];
+}
+
+std::vector<std::byte> encode_double(double v) {
+  std::vector<std::byte> b;
+  pack_one(b, v);
+  return b;
+}
+
+double decode_double(const std::vector<std::byte>& b) {
+  const auto items = unpack<double>(b);
+  PAGEN_CHECK(items.size() == 1);
+  return items[0];
+}
+
+}  // namespace
+
+Comm::Comm(World& world, Rank rank) : world_(world), rank_(rank) {
+  PAGEN_CHECK(rank >= 0 && rank < world.size());
+}
+
+int Comm::size() const { return world_.size(); }
+
+void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
+  PAGEN_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  stats_.envelopes_sent += 1;
+  stats_.bytes_sent += payload.size();
+  world_.mailbox(dst).push(Envelope{rank_, tag, std::move(payload)});
+}
+
+bool Comm::poll(std::vector<Envelope>& out) {
+  const std::size_t before = out.size();
+  const bool got = world_.mailbox(rank_).try_drain(out);
+  account_received(out, before);
+  return got;
+}
+
+bool Comm::poll_wait(std::vector<Envelope>& out,
+                     std::chrono::milliseconds timeout) {
+  const std::size_t before = out.size();
+  const bool got = world_.mailbox(rank_).wait_drain(out, timeout);
+  account_received(out, before);
+  return got;
+}
+
+void Comm::account_received(std::vector<Envelope>& out, std::size_t before) {
+  for (std::size_t i = before; i < out.size(); ++i) {
+    if (out[i].tag == kAbortTag) throw WorldAborted();
+    stats_.envelopes_received += 1;
+    stats_.bytes_received += out[i].payload.size();
+  }
+}
+
+void Comm::barrier() {
+  stats_.collectives += 1;
+  (void)world_.collectives().exchange(rank_, {});
+}
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t v) {
+  stats_.collectives += 1;
+  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  std::uint64_t sum = 0;
+  for (const auto& blob : all) sum += decode_u64(blob);
+  return sum;
+}
+
+std::uint64_t Comm::allreduce_max(std::uint64_t v) {
+  stats_.collectives += 1;
+  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  std::uint64_t best = 0;
+  for (const auto& blob : all) best = std::max(best, decode_u64(blob));
+  return best;
+}
+
+double Comm::allreduce_sum_double(double v) {
+  stats_.collectives += 1;
+  const auto all = world_.collectives().exchange(rank_, encode_double(v));
+  double sum = 0;
+  for (const auto& blob : all) sum += decode_double(blob);
+  return sum;
+}
+
+std::vector<std::uint64_t> Comm::allgather(std::uint64_t v) {
+  stats_.collectives += 1;
+  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  std::vector<std::uint64_t> out;
+  out.reserve(all.size());
+  for (const auto& blob : all) out.push_back(decode_u64(blob));
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(
+    std::vector<std::byte> blob) {
+  stats_.collectives += 1;
+  return world_.collectives().exchange(rank_, std::move(blob));
+}
+
+std::uint64_t Comm::broadcast(std::uint64_t v, Rank root) {
+  PAGEN_CHECK(root >= 0 && root < size());
+  stats_.collectives += 1;
+  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  return decode_u64(all[static_cast<std::size_t>(root)]);
+}
+
+}  // namespace pagen::mps

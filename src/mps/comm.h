@@ -1,0 +1,82 @@
+// Comm: the per-rank endpoint of an mps world.
+//
+// A rank function receives a Comm& and may only touch its own private state
+// plus this endpoint — the distributed-memory discipline.  Point-to-point
+// sends enqueue envelopes into the destination's mailbox; polls drain the
+// rank's own mailbox; collectives rendezvous through CollectiveContext.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mps/collectives.h"
+#include "mps/mailbox.h"
+#include "mps/message.h"
+#include "mps/stats.h"
+#include "util/types.h"
+
+namespace pagen::mps {
+
+class World;
+
+class Comm {
+ public:
+  Comm(World& world, Rank rank);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Send an opaque payload to `dst` (self-send allowed). FIFO per
+  /// (src, dst) pair.
+  void send_bytes(Rank dst, int tag, std::vector<std::byte> payload);
+
+  /// Pack `items` and send as one envelope.
+  template <typename T>
+  void send_items(Rank dst, int tag, std::span<const T> items) {
+    std::vector<std::byte> payload;
+    pack(payload, items);
+    send_bytes(dst, tag, std::move(payload));
+  }
+
+  template <typename T>
+  void send_item(Rank dst, int tag, const T& item) {
+    send_items(dst, tag, std::span<const T>(&item, 1));
+  }
+
+  /// Drain pending envelopes into `out` (appended). Returns true if any.
+  bool poll(std::vector<Envelope>& out);
+
+  /// Like poll() but blocks up to `timeout` for the first envelope.
+  bool poll_wait(std::vector<Envelope>& out, std::chrono::milliseconds timeout);
+
+  // --- Collectives (every rank must participate, in the same order) ---
+  void barrier();
+  [[nodiscard]] std::uint64_t allreduce_sum(std::uint64_t v);
+  [[nodiscard]] std::uint64_t allreduce_max(std::uint64_t v);
+  [[nodiscard]] double allreduce_sum_double(double v);
+  [[nodiscard]] std::vector<std::uint64_t> allgather(std::uint64_t v);
+  /// Variable-size allgather: every rank deposits a byte blob, all receive
+  /// all blobs indexed by rank.
+  [[nodiscard]] std::vector<std::vector<std::byte>> allgather_bytes(
+      std::vector<std::byte> blob);
+  /// Broadcast root's value to everyone.
+  [[nodiscard]] std::uint64_t broadcast(std::uint64_t v, Rank root);
+
+  [[nodiscard]] CommStats& stats() { return stats_; }
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+
+ private:
+  /// Count newly drained envelopes; throws WorldAborted on an abort tag.
+  void account_received(std::vector<Envelope>& out, std::size_t before);
+
+  World& world_;
+  Rank rank_;
+  CommStats stats_;
+};
+
+}  // namespace pagen::mps

@@ -1,0 +1,74 @@
+#include "mps/engine.h"
+
+#include <exception>
+#include <thread>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace pagen::mps {
+
+World::World(int nranks) : nranks_(nranks), collectives_(nranks) {
+  PAGEN_CHECK_MSG(nranks >= 1, "world needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& World::mailbox(Rank r) {
+  PAGEN_CHECK(r >= 0 && r < nranks_);
+  return *mailboxes_[static_cast<std::size_t>(r)];
+}
+
+RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body) {
+  World world(nranks);
+  RunResult result;
+  result.rank_stats.resize(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Unblock peers so the world tears down instead of deadlocking on
+        // the failed rank: wake collectives via poisoning and mailbox
+        // waiters via abort envelopes (poll translates them into
+        // WorldAborted).
+        world.collectives().poison();
+        for (int peer = 0; peer < nranks; ++peer) {
+          if (peer != r) world.mailbox(peer).push(Envelope{r, kAbortTag, {}});
+        }
+      }
+      result.rank_stats[static_cast<std::size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_seconds = timer.seconds();
+
+  // Prefer the root-cause exception over secondary WorldAborted failures
+  // that other ranks raised while tearing down.
+  std::exception_ptr first;
+  for (const auto& err : errors) {
+    if (!err) continue;
+    if (!first) first = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const WorldAborted&) {
+      // secondary
+    } catch (...) {
+      first = err;
+      break;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return result;
+}
+
+}  // namespace pagen::mps

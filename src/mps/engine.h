@@ -1,0 +1,48 @@
+// World and Engine: construct a rank group and run a rank function on every
+// rank, one OS thread per rank.
+//
+// Ranks may outnumber hardware threads (this reproduction routinely runs
+// P = 160 logical ranks, mirroring the paper's processor counts); the
+// algorithms are latency-tolerant by design, so oversubscription affects
+// wall-clock but not correctness or the measured load counters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mps/collectives.h"
+#include "mps/comm.h"
+#include "mps/mailbox.h"
+#include "mps/stats.h"
+#include "util/types.h"
+
+namespace pagen::mps {
+
+/// Shared runtime state for one group of ranks. Owns the mailboxes and the
+/// collective rendezvous; ranks access it only through their Comm endpoint.
+class World {
+ public:
+  explicit World(int nranks);
+
+  [[nodiscard]] int size() const { return nranks_; }
+  [[nodiscard]] Mailbox& mailbox(Rank r);
+  [[nodiscard]] CollectiveContext& collectives() { return collectives_; }
+
+ private:
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  CollectiveContext collectives_;
+};
+
+/// Result of one Engine::run: per-rank runtime statistics and wall time.
+struct RunResult {
+  std::vector<CommStats> rank_stats;
+  double wall_seconds = 0.0;
+};
+
+/// Launch `nranks` threads each executing `body(comm)`. Exceptions thrown by
+/// any rank are captured and the first one rethrown after all threads join.
+RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace pagen::mps

@@ -1,0 +1,63 @@
+// Per-rank mailbox: a multi-producer single-consumer envelope queue.
+//
+// Producers are other ranks' sends; the single consumer is the owning rank.
+// Delivery is FIFO per producer (and globally, since pushes serialize on one
+// mutex), matching MPI's non-overtaking guarantee for same-(src, dst, tag)
+// traffic — the property the paper's resolved-message protocol relies on.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "mps/message.h"
+
+namespace pagen::mps {
+
+class Mailbox {
+ public:
+  /// Enqueue one envelope (any thread). Wakes a blocked consumer.
+  void push(Envelope e) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(e));
+    }
+    cv_.notify_one();
+  }
+
+  /// Drain everything queued into `out` (appended). Non-blocking.
+  /// Returns true if anything was drained. Owner thread only.
+  bool try_drain(std::vector<Envelope>& out) {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    for (auto& e : queue_) out.push_back(std::move(e));
+    queue_.clear();
+    return true;
+  }
+
+  /// Drain, blocking up to `timeout` for at least one envelope.
+  /// Returns true if anything was drained. Owner thread only.
+  bool wait_drain(std::vector<Envelope>& out,
+                  std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); });
+    if (queue_.empty()) return false;
+    for (auto& e : queue_) out.push_back(std::move(e));
+    queue_.clear();
+    return true;
+  }
+
+  /// Number of queued envelopes (diagnostics only; racy by nature).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Envelope> queue_;
+};
+
+}  // namespace pagen::mps

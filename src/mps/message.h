@@ -1,0 +1,81 @@
+// Message envelope and POD packing helpers for the mps runtime.
+//
+// The runtime moves opaque byte payloads between ranks; algorithm-level
+// message structs (request/resolved, Section 3.2–3.3 of the paper) are
+// trivially-copyable PODs packed contiguously into one envelope per
+// (destination, tag) batch — this is the "message buffering" the paper's
+// Section 3.5 calls out as essential at scale.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+#include "util/types.h"
+
+namespace pagen::mps {
+
+/// One delivered message batch. `payload` holds `payload.size() / sizeof(T)`
+/// packed items of the tag's element type T.
+struct Envelope {
+  Rank src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Reserved tag broadcast by the engine when a rank dies: Comm::poll and
+/// poll_wait translate it into a WorldAborted exception so peers blocked on
+/// data traffic unwind instead of deadlocking. Never use for user traffic.
+inline constexpr int kAbortTag = -559038737;  // 0xDEADBEEF as signed
+
+/// Append the bytes of `items` to `out`.
+template <typename T>
+void pack(std::vector<std::byte>& out, std::span<const T> items) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t old = out.size();
+  out.resize(old + items.size_bytes());
+  if (!items.empty()) {
+    std::memcpy(out.data() + old, items.data(), items.size_bytes());
+  }
+}
+
+/// Append one item.
+template <typename T>
+void pack_one(std::vector<std::byte>& out, const T& item) {
+  pack(out, std::span<const T>(&item, 1));
+}
+
+/// Decode a payload as packed items of T. The payload size must be an exact
+/// multiple of sizeof(T). Returns a by-value vector: payload alignment is not
+/// guaranteed to satisfy alignof(T), so items are memcpy'd out.
+template <typename T>
+[[nodiscard]] std::vector<T> unpack(std::span<const std::byte> payload) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAGEN_CHECK_MSG(payload.size() % sizeof(T) == 0,
+                  "payload size " << payload.size()
+                                  << " not a multiple of element size "
+                                  << sizeof(T));
+  std::vector<T> items(payload.size() / sizeof(T));
+  if (!items.empty()) {
+    std::memcpy(items.data(), payload.data(), payload.size());
+  }
+  return items;
+}
+
+/// Visit packed items in place without copying the whole batch.
+template <typename T, typename Fn>
+void for_each_packed(std::span<const std::byte> payload, Fn&& fn) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAGEN_CHECK(payload.size() % sizeof(T) == 0);
+  const std::size_t n = payload.size() / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    T item;
+    std::memcpy(&item, payload.data() + i * sizeof(T), sizeof(T));
+    fn(item);
+  }
+}
+
+}  // namespace pagen::mps

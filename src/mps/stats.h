@@ -1,0 +1,30 @@
+// Per-rank communication statistics.
+//
+// The paper measures load as "number of nodes per processor, number of
+// outgoing messages, and number of incoming messages" (Section 3.5/4.6).
+// The runtime tallies envelopes/bytes; algorithm-level request/resolved
+// counts are tallied by the generator itself (core/load_stats.h).
+#pragma once
+
+#include "util/types.h"
+
+namespace pagen::mps {
+
+struct CommStats {
+  Count envelopes_sent = 0;
+  Count envelopes_received = 0;
+  Count bytes_sent = 0;
+  Count bytes_received = 0;
+  Count collectives = 0;
+
+  CommStats& operator+=(const CommStats& o) {
+    envelopes_sent += o.envelopes_sent;
+    envelopes_received += o.envelopes_received;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    collectives += o.collectives;
+    return *this;
+  }
+};
+
+}  // namespace pagen::mps

@@ -1,0 +1,75 @@
+#include "partition/block_cyclic.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace pagen::partition {
+namespace {
+
+class BlockCyclicPartition final : public Partition {
+ public:
+  BlockCyclicPartition(NodeId n, int parts, NodeId block)
+      : n_(n), parts_(parts), block_(block) {
+    PAGEN_CHECK(parts >= 1);
+    PAGEN_CHECK(block >= 1);
+    PAGEN_CHECK(n >= static_cast<NodeId>(parts));
+  }
+
+  int num_parts() const override { return parts_; }
+  NodeId num_nodes() const override { return n_; }
+
+  Rank owner(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    return static_cast<Rank>((u / block_) % static_cast<NodeId>(parts_));
+  }
+
+  Count part_size(Rank i) const override {
+    check_rank(i);
+    // Full stripes plus the partial stripe at the end.
+    const NodeId stripe = block_ * static_cast<NodeId>(parts_);
+    const NodeId full_stripes = n_ / stripe;
+    Count size = full_stripes * block_;
+    const NodeId rem = n_ % stripe;  // nodes in the final partial stripe
+    const NodeId my_start = static_cast<NodeId>(i) * block_;
+    if (rem > my_start) {
+      size += std::min(block_, rem - my_start);
+    }
+    return size;
+  }
+
+  NodeId node_at(Rank i, Count idx) const override {
+    check_rank(i);
+    PAGEN_CHECK(idx < part_size(i));
+    const NodeId stripe = block_ * static_cast<NodeId>(parts_);
+    const NodeId stripe_index = idx / block_;
+    const NodeId offset = idx % block_;
+    return stripe_index * stripe + static_cast<NodeId>(i) * block_ + offset;
+  }
+
+  Count local_index(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    const NodeId stripe = block_ * static_cast<NodeId>(parts_);
+    return (u / stripe) * block_ + (u % block_);
+  }
+
+  std::string name() const override {
+    return "BCP(" + std::to_string(block_) + ")";
+  }
+
+ private:
+  void check_rank(Rank i) const { PAGEN_CHECK(i >= 0 && i < parts_); }
+
+  NodeId n_;
+  int parts_;
+  NodeId block_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partition> make_block_cyclic(NodeId n, int parts,
+                                             NodeId block) {
+  return std::make_unique<BlockCyclicPartition>(n, parts, block);
+}
+
+}  // namespace pagen::partition

@@ -1,0 +1,22 @@
+// Block-cyclic partitioning — an extension beyond the paper's three schemes.
+//
+// Blocks of `block` consecutive nodes are dealt to ranks round-robin:
+// owner(u) = (u / block) mod P. block = 1 is exactly RRP; block = ceil(n/P)
+// is exactly UCP. Sweeping the block size interpolates between RRP's
+// perfect balance and UCP's locality (consecutive runs of nodes per rank),
+// quantifying the trade-off the paper's Section 3.5 discusses qualitatively
+// ("some algorithms require the consecutive nodes to be stored in the same
+// processor"). See bench/ext_block_cyclic.
+#pragma once
+
+#include <memory>
+
+#include "partition/partition.h"
+
+namespace pagen::partition {
+
+/// Create a block-cyclic partition with the given block size (>= 1).
+[[nodiscard]] std::unique_ptr<Partition> make_block_cyclic(NodeId n, int parts,
+                                                           NodeId block);
+
+}  // namespace pagen::partition

@@ -1,0 +1,89 @@
+#include "partition/lcp_solver.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/harmonic.h"
+
+namespace pagen::partition {
+namespace {
+
+// Continuous extension of k * H_k (k H_k with H evaluated at real k via the
+// asymptotic form; exact at integer k within table range).
+double k_times_h(const pagen::Harmonic& h, double k) {
+  if (k <= 0.0) return 0.0;
+  // Interpolate between floor and ceil to keep the function smooth for the
+  // binary search; the load function only needs monotonicity.
+  const auto lo = static_cast<std::uint64_t>(k);
+  const double frac = k - static_cast<double>(lo);
+  const double at_lo = static_cast<double>(lo) * h(lo);
+  const double at_hi = static_cast<double>(lo + 1) * h(lo + 1);
+  return at_lo + frac * (at_hi - at_lo);
+}
+
+}  // namespace
+
+double block_load(NodeId n, double lo, double hi, double b) {
+  PAGEN_CHECK(hi >= lo);
+  static const pagen::Harmonic h(1 << 16);
+  const double hn1 = h(n - 1);
+  return (hi - lo) * (hn1 + b) - (k_times_h(h, hi) - k_times_h(h, lo));
+}
+
+std::vector<double> solve_eq10(NodeId n, int parts, double b) {
+  PAGEN_CHECK(parts >= 1);
+  PAGEN_CHECK(n >= static_cast<NodeId>(parts));
+  const double total = block_load(n, 0.0, static_cast<double>(n), b);
+  const double target = total / parts;
+
+  std::vector<double> bounds(static_cast<std::size_t>(parts) + 1, 0.0);
+  bounds[static_cast<std::size_t>(parts)] = static_cast<double>(n);
+  for (int i = 0; i + 1 < parts; ++i) {
+    // Find hi with L(bounds[i], hi) == target. L is increasing in hi (every
+    // node contributes positive load), so bisection converges.
+    double lo = bounds[static_cast<std::size_t>(i)];
+    double hi_min = lo;
+    double hi_max = static_cast<double>(n);
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = 0.5 * (hi_min + hi_max);
+      if (block_load(n, lo, mid, b) < target) {
+        hi_min = mid;
+      } else {
+        hi_max = mid;
+      }
+    }
+    bounds[static_cast<std::size_t>(i) + 1] = 0.5 * (hi_min + hi_max);
+  }
+  return bounds;
+}
+
+LcpParams fit_lcp_params(NodeId n, int parts, double b) {
+  const auto bounds = solve_eq10(n, parts, b);
+  const auto p = static_cast<std::size_t>(parts);
+  LcpParams out;
+  if (parts == 1) {
+    out.a = static_cast<double>(n);
+    out.d = 0.0;
+    return out;
+  }
+  // The paper samples two points of the exact solution to get the slope d;
+  // since solve_eq10 already yields every block size, we least-squares the
+  // whole series instead (same linear model, better-balanced residuals).
+  // The intercept then comes from the sum constraint sum_i (a + i d) = n
+  // (Appendix A.2, Eq. 12).
+  const auto dp = static_cast<double>(parts);
+  double sum_i = 0, sum_ii = 0, sum_s = 0, sum_is = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const auto di = static_cast<double>(i);
+    const double size = bounds[i + 1] - bounds[i];
+    sum_i += di;
+    sum_ii += di * di;
+    sum_s += size;
+    sum_is += di * size;
+  }
+  out.d = (dp * sum_is - sum_i * sum_s) / (dp * sum_ii - sum_i * sum_i);
+  out.a = static_cast<double>(n) / dp - (dp - 1.0) * out.d / 2.0;
+  return out;
+}
+
+}  // namespace pagen::partition

@@ -1,0 +1,42 @@
+// Numerical solver for the paper's Eq. 10 load-balance system, and its
+// linear approximation (Appendix A.2).
+//
+// Eq. 10 asks for consecutive block boundaries n_0 = 0 < n_1 < ... < n_P = n
+// such that every block carries an equal share of the total computation
+// load, where the load of block [lo, hi) is
+//
+//   L(lo, hi) = (hi - lo)(H_{n-1} + b) - (hi H_hi - lo H_lo)
+//
+// (type A+B work proportional to block size, plus the expected incoming
+// request messages of Lemma 3.4 summed via Concrete Mathematics Eq. 2.36).
+// The system is nonlinear; the paper solves it numerically once to observe
+// that the boundaries are nearly linear in rank, then replaces it with the
+// arithmetic-progression LCP scheme. We reproduce both: the exact solution
+// (Fig. 3's "actual" series) and the a/d linear fit used by LcpPartition.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace pagen::partition {
+
+/// Block load L(lo, hi) as defined above; `b` is the per-node constant-work
+/// coefficient (the paper's b = 1 + c).
+[[nodiscard]] double block_load(NodeId n, double lo, double hi, double b);
+
+/// Solve Eq. 10: returns P+1 real-valued boundaries, boundaries[0] = 0 and
+/// boundaries[P] = n, such that every block's load equals the mean load.
+/// Deterministic: sequential binary search per boundary.
+[[nodiscard]] std::vector<double> solve_eq10(NodeId n, int parts,
+                                             double b = 2.0);
+
+/// Arithmetic-progression parameters for LCP (Appendix A.2): block i gets
+/// a + i*d nodes. Derived from the exact solution's first and last blocks.
+struct LcpParams {
+  double a = 0.0;
+  double d = 0.0;
+};
+[[nodiscard]] LcpParams fit_lcp_params(NodeId n, int parts, double b = 2.0);
+
+}  // namespace pagen::partition

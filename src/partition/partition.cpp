@@ -1,0 +1,234 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "partition/lcp_solver.h"
+#include "util/error.h"
+
+namespace pagen::partition {
+
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kUcp:
+      return "UCP";
+    case Scheme::kLcp:
+      return "LCP";
+    case Scheme::kRrp:
+      return "RRP";
+  }
+  PAGEN_CHECK(false);
+  return {};
+}
+
+Scheme scheme_from_string(const std::string& name) {
+  if (name == "UCP" || name == "ucp") return Scheme::kUcp;
+  if (name == "LCP" || name == "lcp") return Scheme::kLcp;
+  if (name == "RRP" || name == "rrp") return Scheme::kRrp;
+  PAGEN_CHECK_MSG(false, "unknown partition scheme: " << name);
+  return Scheme::kUcp;
+}
+
+namespace {
+
+/// Uniform consecutive partitioning (Appendix A.1): block size B = ceil(n/P),
+/// owner(u) = floor(u / B).
+class UcpPartition final : public Partition {
+ public:
+  UcpPartition(NodeId n, int parts)
+      : n_(n), parts_(parts), block_((n + parts - 1) / parts) {
+    PAGEN_CHECK(parts >= 1);
+    PAGEN_CHECK(n >= static_cast<NodeId>(parts));
+  }
+
+  int num_parts() const override { return parts_; }
+  NodeId num_nodes() const override { return n_; }
+
+  Rank owner(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    return static_cast<Rank>(u / block_);
+  }
+
+  Count part_size(Rank i) const override {
+    check_rank(i);
+    const NodeId lo = static_cast<NodeId>(i) * block_;
+    const NodeId hi = std::min(n_, lo + block_);
+    return hi > lo ? hi - lo : 0;
+  }
+
+  NodeId node_at(Rank i, Count idx) const override {
+    check_rank(i);
+    PAGEN_CHECK(idx < part_size(i));
+    return static_cast<NodeId>(i) * block_ + idx;
+  }
+
+  Count local_index(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    return u % block_;
+  }
+
+  std::string name() const override { return "UCP"; }
+
+ private:
+  void check_rank(Rank i) const { PAGEN_CHECK(i >= 0 && i < parts_); }
+
+  NodeId n_;
+  int parts_;
+  NodeId block_;
+};
+
+/// Round-robin partitioning (Appendix A.3): owner(u) = u mod P.
+class RrpPartition final : public Partition {
+ public:
+  RrpPartition(NodeId n, int parts) : n_(n), parts_(parts) {
+    PAGEN_CHECK(parts >= 1);
+    PAGEN_CHECK(n >= static_cast<NodeId>(parts));
+  }
+
+  int num_parts() const override { return parts_; }
+  NodeId num_nodes() const override { return n_; }
+
+  Rank owner(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    return static_cast<Rank>(u % static_cast<NodeId>(parts_));
+  }
+
+  Count part_size(Rank i) const override {
+    check_rank(i);
+    const auto p = static_cast<NodeId>(parts_);
+    return (n_ - static_cast<NodeId>(i) + p - 1) / p;
+  }
+
+  NodeId node_at(Rank i, Count idx) const override {
+    check_rank(i);
+    PAGEN_CHECK(idx < part_size(i));
+    return static_cast<NodeId>(i) + idx * static_cast<NodeId>(parts_);
+  }
+
+  Count local_index(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    return u / static_cast<NodeId>(parts_);
+  }
+
+  std::string name() const override { return "RRP"; }
+
+ private:
+  void check_rank(Rank i) const { PAGEN_CHECK(i >= 0 && i < parts_); }
+
+  NodeId n_;
+  int parts_;
+};
+
+/// Linear consecutive partitioning (Appendix A.2): block i holds ~a + i*d
+/// nodes. Integer boundaries are rounded from the arithmetic progression and
+/// repaired to stay strictly increasing and sum to n. owner(u) starts from
+/// the closed-form quadratic inverse and applies a bounded local correction,
+/// keeping the O(1) Criterion A guarantee.
+class LcpPartition final : public Partition {
+ public:
+  LcpPartition(NodeId n, int parts) : n_(n), parts_(parts) {
+    PAGEN_CHECK(parts >= 1);
+    PAGEN_CHECK(n >= static_cast<NodeId>(parts));
+    const LcpParams params = fit_lcp_params(n, parts);
+    a_ = params.a;
+    d_ = params.d;
+    bounds_.resize(static_cast<std::size_t>(parts) + 1);
+    bounds_[0] = 0;
+    for (int i = 1; i <= parts; ++i) {
+      const double x = static_cast<double>(i);
+      const double boundary = a_ * x + d_ * x * (x - 1.0) / 2.0;
+      bounds_[static_cast<std::size_t>(i)] =
+          static_cast<NodeId>(std::llround(std::max(0.0, boundary)));
+    }
+    bounds_[static_cast<std::size_t>(parts)] = n;
+    // Repair rounding: every block must hold at least one node.
+    for (int i = 1; i <= parts; ++i) {
+      auto& b = bounds_[static_cast<std::size_t>(i)];
+      b = std::max(b, bounds_[static_cast<std::size_t>(i) - 1] + 1);
+    }
+    for (int i = parts - 1; i >= 1; --i) {
+      auto& b = bounds_[static_cast<std::size_t>(i)];
+      b = std::min(b, bounds_[static_cast<std::size_t>(i) + 1] - 1);
+    }
+    PAGEN_CHECK(bounds_[static_cast<std::size_t>(parts)] == n);
+  }
+
+  int num_parts() const override { return parts_; }
+  NodeId num_nodes() const override { return n_; }
+
+  Rank owner(NodeId u) const override {
+    PAGEN_CHECK(u < n_);
+    // Closed-form inverse of the progression (paper, Appendix A.2), then a
+    // bounded walk to absorb integer rounding of the boundaries.
+    Rank i = guess(u);
+    while (i > 0 && u < bounds_[static_cast<std::size_t>(i)]) --i;
+    while (i + 1 < parts_ + 1 && u >= bounds_[static_cast<std::size_t>(i) + 1])
+      ++i;
+    PAGEN_DCHECK(i >= 0 && i < parts_);
+    return i;
+  }
+
+  Count part_size(Rank i) const override {
+    check_rank(i);
+    return bounds_[static_cast<std::size_t>(i) + 1] -
+           bounds_[static_cast<std::size_t>(i)];
+  }
+
+  NodeId node_at(Rank i, Count idx) const override {
+    check_rank(i);
+    PAGEN_CHECK(idx < part_size(i));
+    return bounds_[static_cast<std::size_t>(i)] + idx;
+  }
+
+  Count local_index(NodeId u) const override {
+    return u - bounds_[static_cast<std::size_t>(owner(u))];
+  }
+
+  std::string name() const override { return "LCP"; }
+
+  /// Fitted progression parameters (exposed for the Fig. 3 bench).
+  [[nodiscard]] LcpParams params() const { return {a_, d_}; }
+
+ private:
+  void check_rank(Rank i) const { PAGEN_CHECK(i >= 0 && i < parts_); }
+
+  Rank guess(NodeId u) const {
+    if (d_ == 0.0) {
+      return static_cast<Rank>(
+          std::min<NodeId>(u / std::max<NodeId>(1, n_ / parts_),
+                           static_cast<NodeId>(parts_ - 1)));
+    }
+    const double two_a_minus_d = 2.0 * a_ - d_;
+    const double disc =
+        two_a_minus_d * two_a_minus_d + 8.0 * d_ * static_cast<double>(u);
+    if (disc < 0.0) return 0;
+    const double x = (-two_a_minus_d + std::sqrt(disc)) / (2.0 * d_);
+    const auto i = static_cast<long long>(std::floor(x));
+    return static_cast<Rank>(
+        std::clamp<long long>(i, 0, static_cast<long long>(parts_) - 1));
+  }
+
+  NodeId n_;
+  int parts_;
+  double a_ = 0.0;
+  double d_ = 0.0;
+  std::vector<NodeId> bounds_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partition> make_partition(Scheme scheme, NodeId n, int parts) {
+  switch (scheme) {
+    case Scheme::kUcp:
+      return std::make_unique<UcpPartition>(n, parts);
+    case Scheme::kLcp:
+      return std::make_unique<LcpPartition>(n, parts);
+    case Scheme::kRrp:
+      return std::make_unique<RrpPartition>(n, parts);
+  }
+  PAGEN_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace pagen::partition

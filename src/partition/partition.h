@@ -1,0 +1,53 @@
+// Node partitioning schemes (Section 3.5 + Appendix A of the paper).
+//
+// A partition splits nodes {0..n-1} into P disjoint parts, one per rank.
+// Criterion A of the paper requires owner(u) in O(1) with no communication;
+// every scheme here satisfies it.  Parts are iterated through node_at(),
+// which enumerates a part's nodes in increasing label order (the order the
+// generation loop processes them).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/types.h"
+
+namespace pagen::partition {
+
+enum class Scheme {
+  kUcp,  ///< uniform consecutive (equal blocks)
+  kLcp,  ///< linear consecutive (arithmetic-progression blocks, Eq. 10 approx)
+  kRrp,  ///< round robin (owner = u mod P)
+};
+
+[[nodiscard]] std::string to_string(Scheme s);
+[[nodiscard]] Scheme scheme_from_string(const std::string& name);
+
+class Partition {
+ public:
+  virtual ~Partition() = default;
+
+  [[nodiscard]] virtual int num_parts() const = 0;
+  [[nodiscard]] virtual NodeId num_nodes() const = 0;
+
+  /// Rank owning node u. O(1), no communication (Criterion A).
+  [[nodiscard]] virtual Rank owner(NodeId u) const = 0;
+
+  /// Number of nodes assigned to part i.
+  [[nodiscard]] virtual Count part_size(Rank i) const = 0;
+
+  /// The idx-th node (0-based, ascending label order) of part i.
+  [[nodiscard]] virtual NodeId node_at(Rank i, Count idx) const = 0;
+
+  /// Inverse of node_at for u's owning part: node_at(owner(u), local_index(u))
+  /// == u. O(1) for every scheme; ranks index their per-node state with it.
+  [[nodiscard]] virtual Count local_index(NodeId u) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Construct a partition of `n` nodes into `parts` parts under `scheme`.
+[[nodiscard]] std::unique_ptr<Partition> make_partition(Scheme scheme,
+                                                        NodeId n, int parts);
+
+}  // namespace pagen::partition

@@ -1,0 +1,32 @@
+#include "rng/counter_rng.h"
+
+#include "util/error.h"
+
+namespace pagen::rng {
+
+std::uint64_t CounterRng::below(std::uint64_t bound, const Stream& s) const {
+  PAGEN_CHECK_MSG(bound >= 1, "uniform bound must be positive");
+  using u128 = unsigned __int128;
+  std::uint64_t x = raw(s, 0);
+  u128 m = static_cast<u128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    // Rejection threshold per Lemire (2019): discard the biased low slice.
+    const std::uint64_t threshold = -bound % bound;
+    std::uint64_t round = 1;
+    while (lo < threshold) {
+      x = raw(s, round++);
+      m = static_cast<u128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t CounterRng::range(std::uint64_t lo, std::uint64_t hi,
+                                const Stream& s) const {
+  PAGEN_CHECK_MSG(lo <= hi, "range lower bound exceeds upper bound");
+  return lo + below(hi - lo + 1, s);
+}
+
+}  // namespace pagen::rng

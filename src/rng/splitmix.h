@@ -1,0 +1,39 @@
+// SplitMix64: the 64-bit finalizer mix and the stateful stream generator.
+//
+// The mix function is the core of pagen's counter-based randomness: it is a
+// bijective avalanche permutation (Stafford/Steele variant 13) whose output
+// on distinct inputs is statistically indistinguishable from independent
+// uniform draws, which is exactly what the per-(node, edge, attempt) draw
+// scheme requires.
+#pragma once
+
+#include <cstdint>
+
+namespace pagen::rng {
+
+/// One application of the SplitMix64 output permutation.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Classic stateful SplitMix64 stream (Steele, Lea & Flood 2014). Used for
+/// seeding other generators and wherever sequential draws suffice.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return splitmix64_mix(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pagen::rng

@@ -1,0 +1,68 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pagen {
+
+Cli::Cli(int argc, const char* const* argv,
+         std::vector<std::string> allowed_keys)
+    : allowed_(std::move(allowed_keys)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string key = arg;
+    std::string value = "true";
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    if (std::find(allowed_.begin(), allowed_.end(), key) == allowed_.end()) {
+      throw std::invalid_argument("unknown option --" + key);
+    }
+    values_[key] = value;
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::uint64_t Cli::get_u64(const std::string& key, std::uint64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stoull(it->second);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+std::string Cli::get_str(const std::string& key, std::string def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Cli::usage(const std::string& prog) const {
+  std::ostringstream os;
+  os << "usage: " << prog;
+  for (const auto& k : allowed_) os << " [--" << k << "=VALUE]";
+  return os.str();
+}
+
+}  // namespace pagen

@@ -1,0 +1,43 @@
+// Minimal --key=value command-line parsing for examples and benches.
+//
+// Every experiment binary accepts overrides such as --n=1000000 --x=4
+// --ranks=16 --seed=42; unknown keys abort with a usage message so typos
+// never silently run the default workload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pagen {
+
+/// Parsed command line. Only `--key=value` and `--flag` forms are accepted.
+class Cli {
+ public:
+  /// @param allowed_keys keys this binary understands; anything else is an
+  ///   error. `--help` is always recognized.
+  Cli(int argc, const char* const* argv, std::vector<std::string> allowed_keys);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] std::string get_str(const std::string& key,
+                                    std::string def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  /// True when --help was passed; callers should print usage and exit 0.
+  [[nodiscard]] bool help() const { return help_; }
+
+  /// Render "usage: prog --a=.. --b=.." for the allowed keys.
+  [[nodiscard]] std::string usage(const std::string& prog) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> allowed_;
+  bool help_ = false;
+};
+
+}  // namespace pagen

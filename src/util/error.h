@@ -1,0 +1,56 @@
+// Lightweight runtime checking used across pagen.
+//
+// PAGEN_CHECK is active in all build types: generator correctness bugs
+// (duplicate edges, unresolved nodes) must never be silently ignored, and the
+// checks are off the hot path.  PAGEN_DCHECK compiles away in release builds
+// and is used inside inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pagen {
+
+/// Exception thrown by PAGEN_CHECK failures. Derives from std::logic_error:
+/// a failed check is a programming error, not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PAGEN_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pagen
+
+#define PAGEN_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::pagen::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define PAGEN_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream pagen_os_;                                    \
+      pagen_os_ << msg;                                                \
+      ::pagen::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    pagen_os_.str());                  \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define PAGEN_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define PAGEN_DCHECK(expr) PAGEN_CHECK(expr)
+#endif

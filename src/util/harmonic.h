@@ -1,0 +1,38 @@
+// Harmonic numbers H_k = sum_{i=1..k} 1/i.
+//
+// The paper's load-balancing analysis (Lemma 3.4, Eq. 10, Appendix A) is
+// written entirely in terms of harmonic numbers: the expected number of
+// request messages received for node k is (1-p) * (H_{n-1} - H_k).  The LCP
+// partition solver evaluates H at ~P*log(n) points up to n, so we provide an
+// exact prefix table for small arguments and the Euler–Maclaurin asymptotic
+// expansion beyond it (absolute error < 1e-12 past the table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pagen {
+
+/// Evaluator for harmonic numbers, exact up to `table_size` and asymptotic
+/// beyond.  Cheap to construct (the default table costs ~8 KB) and safe to
+/// share across threads once built.
+class Harmonic {
+ public:
+  /// @param table_size number of exactly-tabulated values (H_0..H_{table_size-1}).
+  explicit Harmonic(std::size_t table_size = 1024);
+
+  /// H_k. H_0 == 0.
+  [[nodiscard]] double operator()(std::uint64_t k) const;
+
+  /// Sum of H_i for i in [0, k]: sum_{i<=k} H_i = (k+1) H_{k+1} - (k+1).
+  /// (Concrete Mathematics Eq. 2.36, the identity the paper invokes.)
+  [[nodiscard]] double prefix_sum(std::uint64_t k) const;
+
+ private:
+  std::vector<double> table_;
+};
+
+/// One-shot H_k using a process-wide default evaluator.
+[[nodiscard]] double harmonic(std::uint64_t k);
+
+}  // namespace pagen

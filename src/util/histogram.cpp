@@ -1,0 +1,68 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pagen {
+
+IntHistogram::IntHistogram(std::uint64_t max_value)
+    : max_value_(max_value), counts_(max_value + 1, 0) {
+  PAGEN_CHECK(max_value >= 1);
+}
+
+void IntHistogram::add(std::uint64_t value, std::uint64_t weight) {
+  counts_[std::min(value, max_value_)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count(std::uint64_t value) const {
+  PAGEN_CHECK(value <= max_value_);
+  return counts_[value];
+}
+
+std::vector<HistBin> IntHistogram::bins() const {
+  std::vector<HistBin> out;
+  for (std::uint64_t v = 0; v <= max_value_; ++v) {
+    if (counts_[v] != 0) {
+      out.push_back({static_cast<double>(v), 1.0, counts_[v]});
+    }
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double base) : base_(base), log_base_(std::log(base)) {
+  PAGEN_CHECK(base > 1.0);
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) {
+  PAGEN_CHECK_MSG(value > 0.0, "LogHistogram only accepts positive values");
+  const int e = static_cast<int>(std::floor(std::log(value) / log_base_));
+  if (empty_) {
+    min_exp_ = e;
+    counts_.assign(1, 0);
+    empty_ = false;
+  } else if (e < min_exp_) {
+    counts_.insert(counts_.begin(), static_cast<std::size_t>(min_exp_ - e), 0);
+    min_exp_ = e;
+  } else if (const auto idx = static_cast<std::size_t>(e - min_exp_);
+             idx >= counts_.size()) {
+    counts_.resize(idx + 1, 0);
+  }
+  counts_[static_cast<std::size_t>(e - min_exp_)] += weight;
+  total_ += weight;
+}
+
+std::vector<HistBin> LogHistogram::bins() const {
+  std::vector<HistBin> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo = std::pow(base_, static_cast<double>(min_exp_) + static_cast<double>(i));
+    const double hi = lo * base_;
+    out.push_back({std::sqrt(lo * hi), hi - lo, counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace pagen

@@ -1,0 +1,91 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pagen {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PAGEN_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PAGEN_CHECK_MSG(cells.size() == header_.size(),
+                  "row width " << cells.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_tsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      std::erase(cell, ',');
+      os << (c == 0 ? "" : "\t") << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool Table::save_tsv(const std::string& path) const {
+  if (path.empty()) return false;
+  std::ofstream os(path);
+  PAGEN_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  print_tsv(os);
+  return true;
+}
+
+std::string fmt_f(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_e(double v, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace pagen

@@ -1,0 +1,54 @@
+// Fixed-width plain-text table printer for bench/example output.
+//
+// The bench harnesses print the same rows/series the paper's tables and
+// figures report; this printer keeps them aligned and machine-greppable
+// (every data row is also emitted in a `key=value` trailer when requested).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pagen {
+
+/// Column-aligned table. Usage:
+///   Table t({"P", "speedup", "scheme"});
+///   t.add_row({"16", "14.9", "RRP"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule. Numbers should be pre-formatted by callers
+  /// (see fmt_* helpers below).
+  void print(std::ostream& os) const;
+
+  /// Render as tab-separated values (header row first) — the
+  /// plot-tool-ready form the figure benches write with --tsv=PATH.
+  /// Thousands separators are stripped from cells so numeric columns stay
+  /// parseable.
+  void print_tsv(std::ostream& os) const;
+
+  /// Write TSV to `path` unless it is empty; returns true if written.
+  bool save_tsv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimals (fixed notation).
+[[nodiscard]] std::string fmt_f(double v, int digits = 3);
+
+/// Format a double in scientific notation with `digits` decimals.
+[[nodiscard]] std::string fmt_e(double v, int digits = 2);
+
+/// Format an integer with thousands separators ("1,234,567").
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+}  // namespace pagen

@@ -1,0 +1,27 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace pagen {
+
+/// Monotonic stopwatch. Started on construction; restart() rewinds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pagen

@@ -1,0 +1,22 @@
+// Common scalar types shared by every pagen module.
+#pragma once
+
+#include <cstdint>
+
+namespace pagen {
+
+/// Vertex identifier. Graphs with up to 2^63 nodes are representable; the
+/// paper generates networks with 10^9 nodes, far above the 32-bit range.
+using NodeId = std::uint64_t;
+
+/// Count of edges / messages / generic 64-bit tallies.
+using Count = std::uint64_t;
+
+/// Rank (processor) index inside a message-passing world.
+using Rank = std::int32_t;
+
+/// Invalid / "not yet resolved" sentinel used for F_t values (the paper's
+/// NILL). NodeId is unsigned so the all-ones pattern is never a valid node.
+inline constexpr NodeId kNil = ~NodeId{0};
+
+}  // namespace pagen

@@ -1,0 +1,101 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/degree_dist.h"
+#include "analysis/load_balance.h"
+
+namespace pagen::analysis {
+namespace {
+
+TEST(DegreeDistribution, CountsEachDegreeOnce) {
+  const std::vector<Count> degrees{1, 1, 2, 3, 3, 3};
+  const auto dist = degree_distribution(degrees);
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_EQ(dist[0].degree, 1u);
+  EXPECT_EQ(dist[0].count, 2u);
+  EXPECT_EQ(dist[2].degree, 3u);
+  EXPECT_EQ(dist[2].count, 3u);
+}
+
+TEST(DegreeDistribution, IncludesZeroDegree) {
+  const std::vector<Count> degrees{0, 0, 5};
+  const auto dist = degree_distribution(degrees);
+  EXPECT_EQ(dist[0].degree, 0u);
+  EXPECT_EQ(dist[0].count, 2u);
+}
+
+TEST(DegreeCcdf, MonotoneDecreasingFromOne) {
+  const std::vector<Count> degrees{1, 2, 2, 4, 8};
+  const auto ccdf = degree_ccdf(degrees);
+  EXPECT_DOUBLE_EQ(ccdf.front().fraction, 1.0);
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LT(ccdf[i].fraction, ccdf[i - 1].fraction);
+  }
+  // Fraction with degree >= 4 is 2/5.
+  EXPECT_DOUBLE_EQ(ccdf[2].fraction, 0.4);
+}
+
+TEST(LogBinnedPdf, NormalizedDensity) {
+  // Uniform degrees inside one bin: density = 1 / width.
+  const std::vector<Count> degrees{10, 10, 10, 10};
+  const auto pdf = log_binned_pdf(degrees, 2.0);
+  ASSERT_EQ(pdf.size(), 1u);
+  // Bin [8,16): width 8, all mass inside.
+  EXPECT_NEAR(pdf[0].density, 1.0 / 8.0, 1e-12);
+}
+
+TEST(LogBinnedPdf, IgnoresZeroDegrees) {
+  const std::vector<Count> degrees{0, 0, 4};
+  const auto pdf = log_binned_pdf(degrees, 2.0);
+  ASSERT_EQ(pdf.size(), 1u);
+}
+
+TEST(LoadBalance, ExtractSelectsMetric) {
+  core::RankLoad a;
+  a.nodes = 10;
+  a.requests_sent = 3;
+  a.requests_received = 2;
+  a.resolved_sent = 2;
+  a.resolved_received = 3;
+  core::RankLoad b;
+  b.nodes = 20;
+  const std::vector<core::RankLoad> loads{a, b};
+
+  EXPECT_EQ(extract(loads, LoadMetric::kNodes),
+            (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(extract(loads, LoadMetric::kTotalMessages),
+            (std::vector<double>{10.0, 0.0}));
+  EXPECT_EQ(extract(loads, LoadMetric::kTotalLoad),
+            (std::vector<double>{20.0, 20.0}));
+}
+
+TEST(LoadBalance, SummaryAndImbalance) {
+  core::RankLoad a, b;
+  a.nodes = 10;
+  b.nodes = 30;
+  const std::vector<core::RankLoad> loads{a, b};
+  const LoadSummary s = summarize_metric(loads, LoadMetric::kNodes);
+  EXPECT_DOUBLE_EQ(s.summary.mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.5);
+}
+
+TEST(LoadBalance, MetricNames) {
+  EXPECT_EQ(to_string(LoadMetric::kNodes), "nodes");
+  EXPECT_EQ(to_string(LoadMetric::kTotalLoad), "total_load");
+}
+
+TEST(RankLoad, AccumulationOperator) {
+  core::RankLoad a, b;
+  a.nodes = 1;
+  a.requests_sent = 2;
+  b.nodes = 3;
+  b.retries = 4;
+  a += b;
+  EXPECT_EQ(a.nodes, 4u);
+  EXPECT_EQ(a.requests_sent, 2u);
+  EXPECT_EQ(a.retries, 4u);
+}
+
+}  // namespace
+}  // namespace pagen::analysis

@@ -1,0 +1,90 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/ba_batagelj_brandes.h"
+#include "baseline/ba_naive.h"
+#include "graph/edge_list.h"
+
+namespace pagen::baseline {
+namespace {
+
+// Both BA implementations share these structural properties; run the same
+// assertions over both through a value-parameterized generator handle.
+using Generator = graph::EdgeList (*)(const PaConfig&);
+
+struct Named {
+  const char* name;
+  Generator gen;
+};
+
+class BaGenerators : public ::testing::TestWithParam<Named> {};
+
+TEST_P(BaGenerators, ExactEdgeCount) {
+  for (NodeId x : {NodeId{1}, NodeId{3}, NodeId{5}}) {
+    const PaConfig cfg{.n = 800, .x = x, .p = 0.5, .seed = 7};
+    EXPECT_EQ(GetParam().gen(cfg).size(), expected_edge_count(cfg))
+        << GetParam().name << " x=" << x;
+  }
+}
+
+TEST_P(BaGenerators, SimpleConnectedGraph) {
+  const PaConfig cfg{.n = 1200, .x = 4, .p = 0.5, .seed = 19};
+  const auto edges = GetParam().gen(cfg);
+  EXPECT_EQ(graph::count_self_loops(edges), 0u);
+  EXPECT_EQ(graph::count_duplicates(edges), 0u);
+  EXPECT_EQ(graph::connected_components(edges, cfg.n), 1u);
+}
+
+TEST_P(BaGenerators, DeterministicInSeed) {
+  const PaConfig cfg{.n = 500, .x = 2, .p = 0.5, .seed = 31};
+  EXPECT_EQ(GetParam().gen(cfg), GetParam().gen(cfg));
+  PaConfig other = cfg;
+  other.seed = 32;
+  EXPECT_NE(GetParam().gen(cfg), GetParam().gen(other));
+}
+
+TEST_P(BaGenerators, OldNodesAccumulateDegree) {
+  const PaConfig cfg{.n = 2000, .x = 3, .p = 0.5, .seed = 3};
+  const auto deg = graph::degree_sequence(GetParam().gen(cfg), cfg.n);
+  // Mean degree of the first 20 nodes must dwarf the last 20's (which is x).
+  double early = 0, late = 0;
+  for (int i = 0; i < 20; ++i) {
+    early += static_cast<double>(deg[i]);
+    late += static_cast<double>(deg[cfg.n - 1 - i]);
+  }
+  EXPECT_GT(early, 4.0 * late);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, BaGenerators,
+    ::testing::Values(Named{"naive", &ba_naive},
+                      Named{"batagelj_brandes", &ba_batagelj_brandes}),
+    [](const ::testing::TestParamInfo<Named>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(BaAgreement, ImplementationsAgreeStatistically) {
+  // The naive scanner and the repetition-list method sample the same
+  // distribution; their mean hub degree over many seeds must coincide.
+  const NodeId n = 300;
+  const int runs = 150;
+  double hub_naive = 0, hub_bb = 0;
+  for (int r = 0; r < runs; ++r) {
+    const PaConfig cfg{.n = n, .x = 2, .p = 0.5,
+                       .seed = static_cast<std::uint64_t>(r + 1)};
+    const auto dn = graph::degree_sequence(ba_naive(cfg), n);
+    const auto db = graph::degree_sequence(ba_batagelj_brandes(cfg), n);
+    hub_naive += static_cast<double>(*std::max_element(dn.begin(), dn.end()));
+    hub_bb += static_cast<double>(*std::max_element(db.begin(), db.end()));
+  }
+  hub_naive /= runs;
+  hub_bb /= runs;
+  EXPECT_NEAR(hub_naive / hub_bb, 1.0, 0.1)
+      << "hub growth must match between implementations";
+}
+
+}  // namespace
+}  // namespace pagen::baseline

@@ -1,0 +1,156 @@
+#include "baseline/copy_model_seq.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pagen::baseline {
+namespace {
+
+TEST(CopyModelX1, TargetsAlwaysPrecedeNode) {
+  const PaConfig cfg{.n = 5000, .x = 1, .p = 0.5, .seed = 11};
+  const auto f = copy_model_targets(cfg);
+  EXPECT_EQ(f[0], kNil);
+  EXPECT_EQ(f[1], 0u);
+  for (NodeId t = 2; t < cfg.n; ++t) {
+    EXPECT_LT(f[t], t) << "F_t must reference an older node";
+  }
+}
+
+TEST(CopyModelX1, EdgeListIsTree) {
+  const PaConfig cfg{.n = 2000, .x = 1, .p = 0.5, .seed = 5};
+  const auto edges = copy_model_x1(cfg);
+  EXPECT_EQ(edges.size(), cfg.n - 1);
+  EXPECT_EQ(graph::count_self_loops(edges), 0u);
+  EXPECT_EQ(graph::connected_components(edges, cfg.n), 1u);
+}
+
+TEST(CopyModelX1, DeterministicInSeed) {
+  const PaConfig cfg{.n = 1000, .x = 1, .p = 0.5, .seed = 77};
+  EXPECT_EQ(copy_model_targets(cfg), copy_model_targets(cfg));
+  PaConfig other = cfg;
+  other.seed = 78;
+  EXPECT_NE(copy_model_targets(cfg), copy_model_targets(other));
+}
+
+TEST(CopyModelX1, MatchesBaDistributionAtHalfP) {
+  // With p = 1/2 the copy model is exactly BA: Pr{F_t = i} = d_i / sum d.
+  // The degree of the oldest node concentrates near the BA expectation
+  // (~sqrt growth) rather than the uniform-attachment one (~log growth).
+  const NodeId n = 400;
+  const int runs = 300;
+  double mean_deg0 = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const PaConfig cfg{.n = n, .x = 1, .p = 0.5,
+                       .seed = static_cast<std::uint64_t>(1000 + r)};
+    const auto deg = graph::degree_sequence(copy_model_x1(cfg), n);
+    mean_deg0 += static_cast<double>(deg[0]);
+  }
+  mean_deg0 /= runs;
+  EXPECT_GT(mean_deg0, 12.0) << "degree of the oldest node must show "
+                                "preferential attachment, not uniform";
+}
+
+TEST(CopyModelX1, HighPIsMoreUniform) {
+  // p = 1 degenerates to uniform random attachment; the hub degree drops.
+  const NodeId n = 400;
+  const int runs = 200;
+  auto mean_deg0 = [&](double p) {
+    double acc = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      const PaConfig cfg{.n = n, .x = 1, .p = p,
+                         .seed = static_cast<std::uint64_t>(5000 + r)};
+      acc += static_cast<double>(
+          graph::degree_sequence(copy_model_x1(cfg), n)[0]);
+    }
+    return acc / runs;
+  };
+  EXPECT_GT(mean_deg0(0.2), mean_deg0(1.0) * 1.5)
+      << "small p must strengthen the rich-get-richer effect";
+}
+
+TEST(CopyModelGeneral, ExactEdgeCount) {
+  for (NodeId x : {NodeId{2}, NodeId{4}, NodeId{8}}) {
+    const PaConfig cfg{.n = 3000, .x = x, .p = 0.5, .seed = 9};
+    const auto result = copy_model_general(cfg);
+    EXPECT_EQ(result.edges.size(), expected_edge_count(cfg)) << "x=" << x;
+  }
+}
+
+TEST(CopyModelGeneral, SimpleGraphInvariants) {
+  const PaConfig cfg{.n = 4000, .x = 5, .p = 0.5, .seed = 13};
+  const auto result = copy_model_general(cfg);
+  EXPECT_EQ(graph::count_self_loops(result.edges), 0u);
+  EXPECT_EQ(graph::count_duplicates(result.edges), 0u);
+  EXPECT_EQ(graph::connected_components(result.edges, cfg.n), 1u);
+}
+
+TEST(CopyModelGeneral, TargetsRespectOrdering) {
+  const PaConfig cfg{.n = 1000, .x = 3, .p = 0.5, .seed = 21};
+  const auto result = copy_model_general(cfg);
+  for (NodeId t = cfg.x; t < cfg.n; ++t) {
+    for (NodeId e = 0; e < cfg.x; ++e) {
+      const NodeId v = result.targets[t * cfg.x + e];
+      ASSERT_NE(v, kNil) << "every slot must resolve";
+      EXPECT_LT(v, t);
+    }
+  }
+}
+
+TEST(CopyModelGeneral, RowsHaveDistinctEndpoints) {
+  const PaConfig cfg{.n = 2000, .x = 6, .p = 0.5, .seed = 3};
+  const auto result = copy_model_general(cfg);
+  for (NodeId t = cfg.x; t < cfg.n; ++t) {
+    for (NodeId e1 = 0; e1 < cfg.x; ++e1) {
+      for (NodeId e2 = e1 + 1; e2 < cfg.x; ++e2) {
+        EXPECT_NE(result.targets[t * cfg.x + e1],
+                  result.targets[t * cfg.x + e2])
+            << "node " << t << " has a duplicate endpoint";
+      }
+    }
+  }
+}
+
+TEST(CopyModelGeneral, MinimumDegreeIsX) {
+  const PaConfig cfg{.n = 3000, .x = 4, .p = 0.5, .seed = 17};
+  const auto result = copy_model_general(cfg);
+  const auto deg = graph::degree_sequence(result.edges, cfg.n);
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    EXPECT_GE(deg[v], cfg.x)
+        << "every node contributes x edges (node " << v << ")";
+  }
+}
+
+TEST(CopyModelGeneral, DelegatesForX1) {
+  const PaConfig cfg{.n = 500, .x = 1, .p = 0.5, .seed = 2};
+  const auto result = copy_model_general(cfg);
+  EXPECT_EQ(result.edges, copy_model_x1(cfg));
+}
+
+TEST(CopyModelGeneral, RetriesHappenButAreRare) {
+  const PaConfig cfg{.n = 20000, .x = 8, .p = 0.5, .seed = 4};
+  const auto result = copy_model_general(cfg);
+  EXPECT_GT(result.retries, 0u);
+  EXPECT_LT(result.retries, result.edges.size() / 10);
+}
+
+TEST(CopyModelGeneral, SmallestValidNetwork) {
+  const PaConfig cfg{.n = 3, .x = 2, .p = 0.5, .seed = 1};
+  const auto result = copy_model_general(cfg);
+  // Clique (1,0) plus node 2 connecting to both clique nodes.
+  EXPECT_EQ(result.edges.size(), 3u);
+  EXPECT_EQ(graph::count_duplicates(result.edges), 0u);
+}
+
+TEST(CopyModelGeneral, RejectsInvalidConfig) {
+  EXPECT_THROW(copy_model_general({.n = 4, .x = 4, .p = 0.5, .seed = 1}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::baseline

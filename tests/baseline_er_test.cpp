@@ -1,0 +1,72 @@
+#include "baseline/er_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.h"
+
+namespace pagen::baseline {
+namespace {
+
+TEST(ErdosRenyi, ZeroProbabilityIsEmpty) {
+  EXPECT_TRUE(erdos_renyi({.n = 100, .p = 0.0, .seed = 1}).empty());
+}
+
+TEST(ErdosRenyi, FullProbabilityIsCompleteGraph) {
+  const auto edges = erdos_renyi({.n = 20, .p = 1.0, .seed = 1});
+  EXPECT_EQ(edges.size(), 20u * 19 / 2);
+  EXPECT_EQ(graph::count_duplicates(edges), 0u);
+  EXPECT_EQ(graph::count_self_loops(edges), 0u);
+}
+
+TEST(ErdosRenyi, EdgesAreValidPairs) {
+  const auto edges = erdos_renyi({.n = 500, .p = 0.02, .seed = 3});
+  for (const auto& e : edges) {
+    EXPECT_LT(e.v, e.u) << "skip enumeration yields w < v";
+    EXPECT_LT(e.u, 500u);
+  }
+  EXPECT_EQ(graph::count_duplicates(edges), 0u);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const NodeId n = 2000;
+  const double p = 0.01;
+  const auto edges = erdos_renyi({.n = n, .p = p, .seed = 5});
+  const double expected = p * n * (n - 1) / 2.0;
+  const double sigma = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected, 5 * sigma);
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  const ErConfig cfg{.n = 300, .p = 0.05, .seed = 9};
+  EXPECT_EQ(erdos_renyi(cfg), erdos_renyi(cfg));
+  ErConfig other = cfg;
+  other.seed = 10;
+  EXPECT_NE(erdos_renyi(cfg), erdos_renyi(other));
+}
+
+TEST(ErdosRenyi, DegreesConcentrateAroundNp) {
+  const NodeId n = 3000;
+  const double p = 0.01;
+  const auto deg =
+      graph::degree_sequence(erdos_renyi({.n = n, .p = p, .seed = 2}), n);
+  double mean = 0;
+  for (auto d : deg) mean += static_cast<double>(d);
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, p * (n - 1), 1.0);
+  // ER has no heavy tail: the hub is only a few sigma above the mean.
+  const auto hub = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LT(static_cast<double>(hub), mean + 8 * std::sqrt(mean));
+}
+
+TEST(ErdosRenyi, TinyGraphs) {
+  EXPECT_TRUE(erdos_renyi({.n = 1, .p = 0.5, .seed = 1}).empty());
+  const auto two = erdos_renyi({.n = 2, .p = 1.0, .seed = 1});
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(two[0], (graph::Edge{1, 0}));
+}
+
+}  // namespace
+}  // namespace pagen::baseline

@@ -1,0 +1,94 @@
+#include "baseline/watts_strogatz.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/metrics.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+namespace {
+
+TEST(WattsStrogatz, LatticeAtBetaZero) {
+  const auto edges = watts_strogatz({.n = 20, .k = 4, .beta = 0.0, .seed = 1});
+  EXPECT_EQ(edges.size(), 20u * 4 / 2);
+  // Pure ring lattice: every node has degree exactly k.
+  const auto deg = graph::degree_sequence(edges, 20);
+  for (Count d : deg) EXPECT_EQ(d, 4u);
+}
+
+TEST(WattsStrogatz, EdgeCountInvariantUnderRewiring) {
+  for (double beta : {0.0, 0.1, 0.5, 1.0}) {
+    const auto edges =
+        watts_strogatz({.n = 500, .k = 6, .beta = beta, .seed = 2});
+    EXPECT_EQ(edges.size(), 500u * 6 / 2) << "beta=" << beta;
+  }
+}
+
+TEST(WattsStrogatz, AlwaysSimpleGraph) {
+  for (double beta : {0.1, 0.5, 1.0}) {
+    const auto edges =
+        watts_strogatz({.n = 1000, .k = 8, .beta = beta, .seed = 3});
+    EXPECT_EQ(graph::count_self_loops(edges), 0u) << "beta=" << beta;
+    EXPECT_EQ(graph::count_duplicates(edges), 0u) << "beta=" << beta;
+  }
+}
+
+TEST(WattsStrogatz, DeterministicInSeed) {
+  const WsConfig cfg{.n = 300, .k = 4, .beta = 0.3, .seed = 9};
+  EXPECT_EQ(watts_strogatz(cfg), watts_strogatz(cfg));
+  WsConfig other = cfg;
+  other.seed = 10;
+  EXPECT_NE(watts_strogatz(cfg), watts_strogatz(other));
+}
+
+TEST(WattsStrogatz, SmallRewiringShrinksDistances) {
+  // The Watts–Strogatz phenomenon: a little rewiring collapses the mean
+  // path length while clustering stays high.
+  const NodeId n = 2000;
+  const auto lattice = watts_strogatz({.n = n, .k = 6, .beta = 0.0, .seed = 4});
+  const auto small_world =
+      watts_strogatz({.n = n, .k = 6, .beta = 0.05, .seed = 4});
+  const graph::CsrGraph gl(lattice, n);
+  const graph::CsrGraph gs(small_world, n);
+  const double dl = graph::sampled_mean_distance(gl, 3, 1);
+  const double ds = graph::sampled_mean_distance(gs, 3, 1);
+  EXPECT_LT(ds, dl / 3.0) << "rewiring must collapse path lengths";
+  EXPECT_GT(graph::global_clustering(gs),
+            0.5 * graph::global_clustering(gl))
+      << "clustering must survive small beta";
+}
+
+TEST(WattsStrogatz, FullRewiringKillsClustering) {
+  const NodeId n = 2000;
+  const auto lattice = watts_strogatz({.n = n, .k = 6, .beta = 0.0, .seed = 5});
+  const auto random_like =
+      watts_strogatz({.n = n, .k = 6, .beta = 1.0, .seed = 5});
+  const graph::CsrGraph gl(lattice, n);
+  const graph::CsrGraph gr(random_like, n);
+  EXPECT_LT(graph::global_clustering(gr),
+            0.2 * graph::global_clustering(gl));
+}
+
+TEST(WattsStrogatz, NoHeavyTailUnlikePa) {
+  // Related-models contrast from the paper's intro: WS keeps a homogeneous
+  // degree distribution even at beta = 1.
+  const NodeId n = 5000;
+  const auto edges = watts_strogatz({.n = n, .k = 6, .beta = 1.0, .seed = 6});
+  const auto deg = graph::degree_sequence(edges, n);
+  const Count hub = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LT(hub, 30u) << "no scale-free hubs in a small-world graph";
+}
+
+TEST(WattsStrogatz, ValidatesConfig) {
+  EXPECT_THROW(watts_strogatz({.n = 10, .k = 3, .beta = 0.1, .seed = 1}),
+               CheckError);  // odd k
+  EXPECT_THROW(watts_strogatz({.n = 4, .k = 4, .beta = 0.1, .seed = 1}),
+               CheckError);  // k >= n
+}
+
+}  // namespace
+}  // namespace pagen::baseline

@@ -1,0 +1,100 @@
+#include "partition/block_cyclic.h"
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "core/generate.h"
+#include "util/error.h"
+
+namespace pagen::partition {
+namespace {
+
+using Param = std::tuple<NodeId, int, NodeId>;  // n, parts, block
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
+         std::to_string(std::get<1>(info.param)) + "_b" +
+         std::to_string(std::get<2>(info.param));
+}
+
+class BlockCyclicProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BlockCyclicProperties, IsATruePartition) {
+  const auto [n, parts, block] = GetParam();
+  const auto part = make_block_cyclic(n, parts, block);
+  Count total = 0;
+  std::set<NodeId> seen;
+  for (Rank i = 0; i < parts; ++i) {
+    total += part->part_size(i);
+    NodeId prev = 0;
+    for (Count idx = 0; idx < part->part_size(i); ++idx) {
+      const NodeId u = part->node_at(i, idx);
+      ASSERT_LT(u, n);
+      EXPECT_EQ(part->owner(u), i);
+      EXPECT_EQ(part->local_index(u), idx);
+      if (idx > 0) EXPECT_GT(u, prev);
+      prev = u;
+      EXPECT_TRUE(seen.insert(u).second);
+    }
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockCyclicProperties,
+    ::testing::Combine(::testing::Values<NodeId>(16, 100, 1000, 4097),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values<NodeId>(1, 7, 64, 5000)),
+    param_name);
+
+TEST(BlockCyclic, BlockOneIsRrp) {
+  const auto bcp = make_block_cyclic(1000, 7, 1);
+  const auto rrp = make_partition(Scheme::kRrp, 1000, 7);
+  for (NodeId u = 0; u < 1000; ++u) {
+    EXPECT_EQ(bcp->owner(u), rrp->owner(u));
+    EXPECT_EQ(bcp->local_index(u), rrp->local_index(u));
+  }
+}
+
+TEST(BlockCyclic, HugeBlockIsUcp) {
+  // block >= ceil(n/P) with n a multiple: each rank gets one block.
+  const auto bcp = make_block_cyclic(1000, 4, 250);
+  const auto ucp = make_partition(Scheme::kUcp, 1000, 4);
+  for (NodeId u = 0; u < 1000; ++u) {
+    EXPECT_EQ(bcp->owner(u), ucp->owner(u));
+  }
+}
+
+TEST(BlockCyclic, NameCarriesBlockSize) {
+  EXPECT_EQ(make_block_cyclic(100, 4, 16)->name(), "BCP(16)");
+}
+
+TEST(BlockCyclic, GeneratorAcceptsCustomPartition) {
+  // The x = 1 exactness guarantee extends to any partition: same seed,
+  // same tree, regardless of block size.
+  const PaConfig cfg{.n = 20000, .x = 1, .p = 0.5, .seed = 42};
+  const auto reference = baseline::copy_model_targets(cfg);
+  for (NodeId block : {NodeId{1}, NodeId{32}, NodeId{1000}}) {
+    core::ParallelOptions opt;
+    opt.ranks = 6;
+    opt.custom_partition = make_block_cyclic(cfg.n, opt.ranks, block);
+    const auto result = core::generate(cfg, opt);
+    EXPECT_EQ(result.targets, reference) << "block=" << block;
+  }
+}
+
+TEST(BlockCyclic, GeneratorRejectsMismatchedPartition) {
+  const PaConfig cfg{.n = 1000, .x = 1, .p = 0.5, .seed = 1};
+  core::ParallelOptions opt;
+  opt.ranks = 4;
+  opt.custom_partition = make_block_cyclic(999, 4, 16);  // wrong n
+  EXPECT_THROW(core::generate(cfg, opt), CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::partition

@@ -1,0 +1,133 @@
+// Empirical validation of Section 3.4: Lemma 3.1, Theorem 3.3 and the
+// constant-p average bound E[L_t] <= 1/p.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/chain_tracer.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pagen::baseline {
+namespace {
+
+TEST(ChainTrace, SelectionChainEndsAtNodeOne) {
+  const PaConfig cfg{.n = 10000, .x = 1, .p = 0.5, .seed = 8};
+  const ChainTrace trace(cfg);
+  for (NodeId t : {NodeId{2}, NodeId{777}, NodeId{9999}}) {
+    const auto chain = trace.selection_chain(t);
+    EXPECT_EQ(chain.front(), t);
+    EXPECT_EQ(chain.back(), 1u);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LT(chain[i], chain[i - 1]) << "chains walk strictly backwards";
+    }
+  }
+}
+
+TEST(ChainTrace, DependencyIsPrefixOfSelection) {
+  const PaConfig cfg{.n = 5000, .x = 1, .p = 0.5, .seed = 15};
+  const ChainTrace trace(cfg);
+  const auto dep = trace.dependency_lengths();
+  const auto sel = trace.selection_lengths();
+  for (NodeId t = 2; t < cfg.n; ++t) {
+    EXPECT_LE(dep[t], sel[t]) << "|D_t| <= |S_t| by construction";
+    EXPECT_GE(dep[t], 1u);
+  }
+}
+
+TEST(ChainTrace, Lemma31MembershipProbabilityIsOneOverI) {
+  // Pr{i in S_t} = 1/i for every 1 <= i < t (Lemma 3.1). Estimate over many
+  // independent seeds for t = n-1 and a few probe nodes i.
+  const NodeId n = 200;
+  const int runs = 4000;
+  const std::vector<NodeId> probes{2, 5, 10, 25};
+  std::vector<int> hits(probes.size(), 0);
+  for (int r = 0; r < runs; ++r) {
+    const PaConfig cfg{.n = n, .x = 1, .p = 0.5,
+                       .seed = static_cast<std::uint64_t>(r + 1)};
+    const ChainTrace trace(cfg);
+    const auto chain = trace.selection_chain(n - 1);
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      if (std::find(chain.begin(), chain.end(), probes[j]) != chain.end()) {
+        ++hits[j];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < probes.size(); ++j) {
+    const double est = static_cast<double>(hits[j]) / runs;
+    const double expected = 1.0 / static_cast<double>(probes[j]);
+    // Binomial std error.
+    const double sigma = std::sqrt(expected * (1 - expected) / runs);
+    EXPECT_NEAR(est, expected, 5 * sigma) << "probe node i=" << probes[j];
+  }
+}
+
+TEST(ChainTrace, Theorem33ExpectedLengthBelowLogN) {
+  // E[L_t] <= log n. Average over all nodes of one large trace (the bound
+  // holds per node; the average is far below it).
+  const NodeId n = 100000;
+  const PaConfig cfg{.n = n, .x = 1, .p = 0.5, .seed = 5};
+  const ChainTrace trace(cfg);
+  const auto dep = trace.dependency_lengths();
+  double mean = 0.0;
+  for (NodeId t = 2; t < n; ++t) mean += static_cast<double>(dep[t]);
+  mean /= static_cast<double>(n - 2);
+  EXPECT_LT(mean, std::log(static_cast<double>(n)));
+}
+
+TEST(ChainTrace, ConstantPAverageBoundedByOneOverP) {
+  // For constant p the average dependency-chain length is at most ~1/p
+  // (chain continues with probability 1-p at each hop => geometric with
+  // mean 1/p). Check for several p.
+  const NodeId n = 50000;
+  for (double p : {0.3, 0.5, 0.7}) {
+    const PaConfig cfg{.n = n, .x = 1, .p = p, .seed = 23};
+    const ChainTrace trace(cfg);
+    const auto dep = trace.dependency_lengths();
+    double mean = 0.0;
+    for (NodeId t = 2; t < n; ++t) mean += static_cast<double>(dep[t]);
+    mean /= static_cast<double>(n - 2);
+    EXPECT_LT(mean, 1.0 / p + 0.1) << "p=" << p;
+    EXPECT_GT(mean, 0.5 / p) << "p=" << p << " (sanity: not degenerate)";
+  }
+}
+
+TEST(ChainTrace, Theorem33MaxLengthIsLogarithmic) {
+  // L_max = O(log n) w.h.p.: the theorem proves Pr{L >= 5 log n} <= 1/n^3.
+  // Check max length stays below 5 ln n across sizes and seeds.
+  for (NodeId n : {NodeId{1000}, NodeId{10000}, NodeId{100000}}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const PaConfig cfg{.n = n, .x = 1, .p = 0.5, .seed = seed};
+      const ChainTrace trace(cfg);
+      const auto dep = trace.dependency_lengths();
+      const Count max_len = *std::max_element(dep.begin(), dep.end());
+      EXPECT_LT(static_cast<double>(max_len),
+                5.0 * std::log(static_cast<double>(n)))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ChainTrace, MaxChainGrowsSublinearly) {
+  // Doubling n many times should grow the max chain roughly additively
+  // (logarithmically), not multiplicatively.
+  auto max_chain = [](NodeId n) {
+    const PaConfig cfg{.n = n, .x = 1, .p = 0.5, .seed = 99};
+    const auto dep = ChainTrace(cfg).dependency_lengths();
+    return static_cast<double>(*std::max_element(dep.begin(), dep.end()));
+  };
+  const double at_10k = max_chain(10000);
+  const double at_160k = max_chain(160000);
+  EXPECT_LT(at_160k, 2.5 * at_10k)
+      << "16x more nodes must not multiply the max chain";
+}
+
+TEST(ChainTrace, RequiresX1) {
+  EXPECT_THROW(ChainTrace({.n = 100, .x = 2, .p = 0.5, .seed = 1}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::baseline

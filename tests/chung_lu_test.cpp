@@ -1,0 +1,109 @@
+#include "baseline/chung_lu.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "analysis/powerlaw_fit.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+namespace {
+
+TEST(ChungLu, SimpleGraphAlways) {
+  ClConfig cfg;
+  cfg.weights = power_law_weights(5000, 2.5, 6.0);
+  cfg.seed = 3;
+  const auto edges = chung_lu(cfg);
+  EXPECT_EQ(graph::count_self_loops(edges), 0u);
+  EXPECT_EQ(graph::count_duplicates(edges), 0u);
+}
+
+TEST(ChungLu, ExpectedDegreesRealized) {
+  // Per-node realized degree must track the prescribed weight; check the
+  // heaviest nodes (their expectation is large enough to concentrate).
+  ClConfig cfg;
+  cfg.weights.assign(4000, 5.0);
+  cfg.weights[0] = 200.0;
+  cfg.weights[1] = 100.0;
+  cfg.seed = 7;
+  const auto edges = chung_lu(cfg);
+  const auto deg = graph::degree_sequence(edges, 4000);
+  EXPECT_NEAR(static_cast<double>(deg[0]), 200.0, 5 * std::sqrt(200.0));
+  EXPECT_NEAR(static_cast<double>(deg[1]), 100.0, 5 * std::sqrt(100.0));
+}
+
+TEST(ChungLu, TotalEdgesNearHalfWeightSum) {
+  ClConfig cfg;
+  cfg.weights.assign(10000, 8.0);
+  cfg.seed = 5;
+  const auto edges = chung_lu(cfg);
+  const double expected = 10000.0 * 8.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(ChungLu, UnsortedWeightsReportOriginalLabels) {
+  // Node 3999 gets the big weight; the generator relabels internally but
+  // must report edges under the caller's labels.
+  ClConfig cfg;
+  cfg.weights.assign(4000, 4.0);
+  cfg.weights[3999] = 300.0;
+  cfg.seed = 9;
+  const auto edges = chung_lu(cfg);
+  const auto deg = graph::degree_sequence(edges, 4000);
+  EXPECT_NEAR(static_cast<double>(deg[3999]), 300.0, 5 * std::sqrt(300.0));
+}
+
+TEST(ChungLu, DeterministicInSeed) {
+  ClConfig cfg;
+  cfg.weights = power_law_weights(1000, 2.5, 5.0);
+  cfg.seed = 11;
+  EXPECT_EQ(chung_lu(cfg), chung_lu(cfg));
+  ClConfig other = cfg;
+  other.seed = 12;
+  EXPECT_NE(chung_lu(cfg), chung_lu(other));
+}
+
+TEST(ChungLu, PowerLawWeightsRecoverGamma) {
+  ClConfig cfg;
+  cfg.weights = power_law_weights(200000, 2.5, 8.0);
+  cfg.seed = 13;
+  const auto edges = chung_lu(cfg);
+  const auto deg = graph::degree_sequence(edges, 200000);
+  const auto fit = analysis::fit_gamma_mle(deg, 8);
+  EXPECT_NEAR(fit.gamma, 2.5, 0.3);
+}
+
+TEST(ChungLu, ZeroWeightsProduceIsolatedNodes) {
+  ClConfig cfg;
+  cfg.weights = {10.0, 10.0, 0.0, 0.0};
+  cfg.seed = 1;
+  const auto edges = chung_lu(cfg);
+  const auto deg = graph::degree_sequence(edges, 4);
+  EXPECT_EQ(deg[2], 0u);
+  EXPECT_EQ(deg[3], 0u);
+}
+
+TEST(PowerLawWeights, MeanMatchesRequest) {
+  const auto w = power_law_weights(10000, 2.7, 6.0);
+  const double mean =
+      std::accumulate(w.begin(), w.end(), 0.0) / static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 6.0, 1e-9);
+}
+
+TEST(PowerLawWeights, DecreasingInIndex) {
+  const auto w = power_law_weights(100, 2.5, 4.0);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+}
+
+TEST(ChungLu, RejectsDegenerateInput) {
+  EXPECT_THROW(chung_lu({.weights = {1.0}, .seed = 1}), CheckError);
+  EXPECT_THROW(chung_lu({.weights = {0.0, 0.0}, .seed = 1}), CheckError);
+  EXPECT_THROW(chung_lu({.weights = {-1.0, 2.0}, .seed = 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::baseline

@@ -1,0 +1,90 @@
+#include "core/distributed_cc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/generate.h"
+#include "graph/edge_list.h"
+
+namespace pagen::core {
+namespace {
+
+using partition::Scheme;
+
+TEST(DistributedCc, PaNetworkIsOneComponent) {
+  const PaConfig cfg{.n = 20000, .x = 4, .p = 0.5, .seed = 3};
+  ParallelOptions opt;
+  opt.ranks = 8;
+  opt.keep_shards = true;
+  opt.gather_edges = false;
+  const auto result = generate(cfg, opt);
+  const auto cc =
+      distributed_connected_components(result.shards, cfg.n, opt.scheme);
+  EXPECT_EQ(cc.components, 1u);
+  EXPECT_GE(cc.rounds, 1u);
+}
+
+TEST(DistributedCc, MatchesSequentialUnionFind) {
+  // Hand-built shards with several components and isolated nodes.
+  const NodeId n = 20;
+  std::vector<graph::EdgeList> shards(4);
+  // Component {0,1,2,3}, component {10,11,12}, edge {18,19}; 4..9, 13..17
+  // isolated. Place each edge in its newer endpoint's RRP shard.
+  const graph::EdgeList edges{{1, 0}, {2, 1}, {3, 0}, {11, 10},
+                              {12, 11}, {19, 18}};
+  const auto part = partition::make_partition(Scheme::kRrp, n, 4);
+  for (const auto& e : edges) {
+    shards[static_cast<std::size_t>(part->owner(e.u))].push_back(e);
+  }
+  const auto cc = distributed_connected_components(shards, n, Scheme::kRrp);
+  EXPECT_EQ(cc.components, graph::connected_components(edges, n));
+  EXPECT_EQ(cc.components, 2u + 1u + 11u);  // two multis + pair + isolated
+}
+
+TEST(DistributedCc, LongPathNeedsManyRounds) {
+  // A path 0-1-2-...-99 split round-robin across ranks: min label must
+  // travel the full length, so rounds grow with the path.
+  const NodeId n = 100;
+  const int ranks = 4;
+  const auto part = partition::make_partition(Scheme::kRrp, n, ranks);
+  std::vector<graph::EdgeList> shards(ranks);
+  graph::EdgeList edges;
+  for (NodeId v = 1; v < n; ++v) {
+    edges.push_back({v, v - 1});
+    shards[static_cast<std::size_t>(part->owner(v))].push_back({v, v - 1});
+  }
+  const auto cc = distributed_connected_components(shards, n, Scheme::kRrp);
+  EXPECT_EQ(cc.components, 1u);
+  EXPECT_GT(cc.rounds, 3u);
+}
+
+TEST(DistributedCc, SchemeSweepAgreesWithCentralized) {
+  const PaConfig cfg{.n = 5000, .x = 2, .p = 0.5, .seed = 9};
+  for (Scheme scheme : {Scheme::kUcp, Scheme::kLcp, Scheme::kRrp}) {
+    ParallelOptions opt;
+    opt.ranks = 6;
+    opt.scheme = scheme;
+    opt.keep_shards = true;
+    const auto result = generate(cfg, opt);
+    const auto cc =
+        distributed_connected_components(result.shards, cfg.n, scheme);
+    EXPECT_EQ(cc.components,
+              graph::connected_components(result.edges, cfg.n))
+        << partition::to_string(scheme);
+  }
+}
+
+TEST(DistributedCc, EmptyShardsAllIsolated) {
+  std::vector<graph::EdgeList> shards(3);
+  const auto cc = distributed_connected_components(shards, 30, Scheme::kRrp);
+  EXPECT_EQ(cc.components, 30u);
+}
+
+TEST(DistributedCc, SingleRank) {
+  const graph::EdgeList edges{{1, 0}, {3, 2}};
+  std::vector<graph::EdgeList> shards{edges};
+  const auto cc = distributed_connected_components(shards, 5, Scheme::kUcp);
+  EXPECT_EQ(cc.components, 3u);
+}
+
+}  // namespace
+}  // namespace pagen::core

@@ -1,0 +1,90 @@
+#include "core/distributed_degree.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/degree_dist.h"
+#include "core/generate.h"
+#include "graph/edge_list.h"
+
+namespace pagen::core {
+namespace {
+
+using partition::Scheme;
+
+// Reference: centralized degree distribution of the gathered edges.
+DegreeHistogram reference_histogram(const graph::EdgeList& edges, NodeId n) {
+  const auto deg = graph::degree_sequence(edges, n);
+  const auto dist = analysis::degree_distribution(deg);
+  DegreeHistogram out;
+  for (const auto& p : dist) out.emplace_back(p.degree, p.count);
+  return out;
+}
+
+class DistributedDegree : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(DistributedDegree, MatchesCentralizedComputation) {
+  const PaConfig cfg{.n = 20000, .x = 4, .p = 0.5, .seed = 77};
+  ParallelOptions opt;
+  opt.ranks = 8;
+  opt.scheme = GetParam();
+  opt.keep_shards = true;
+  const auto result = generate(cfg, opt);
+  ASSERT_EQ(result.shards.size(), 8u);
+
+  const auto distributed =
+      distributed_degree_distribution(result.shards, cfg.n, opt.scheme);
+  EXPECT_EQ(distributed, reference_histogram(result.edges, cfg.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DistributedDegree,
+                         ::testing::Values(Scheme::kUcp, Scheme::kLcp,
+                                           Scheme::kRrp),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return partition::to_string(info.param);
+                         });
+
+TEST(DistributedDegreeBasic, SingleRankWorld) {
+  const PaConfig cfg{.n = 1000, .x = 1, .p = 0.5, .seed = 3};
+  ParallelOptions opt;
+  opt.ranks = 1;
+  opt.keep_shards = true;
+  const auto result = generate(cfg, opt);
+  const auto hist = distributed_degree_distribution(result.shards, cfg.n,
+                                                    opt.scheme);
+  EXPECT_EQ(hist, reference_histogram(result.edges, cfg.n));
+}
+
+TEST(DistributedDegreeBasic, TotalNodesAccountedFor) {
+  const PaConfig cfg{.n = 30000, .x = 2, .p = 0.5, .seed = 5};
+  ParallelOptions opt;
+  opt.ranks = 16;
+  opt.scheme = Scheme::kRrp;
+  opt.keep_shards = true;
+  opt.gather_edges = false;  // the point: no central edge list needed
+  const auto result = generate(cfg, opt);
+  const auto hist = distributed_degree_distribution(result.shards, cfg.n,
+                                                    opt.scheme);
+  Count nodes = 0;
+  Count degree_mass = 0;
+  for (const auto& [degree, count] : hist) {
+    nodes += count;
+    degree_mass += degree * count;
+  }
+  EXPECT_EQ(nodes, cfg.n);
+  EXPECT_EQ(degree_mass, 2 * result.total_edges);
+}
+
+TEST(DistributedDegreeBasic, KeepShardsWithGatherAgrees) {
+  const PaConfig cfg{.n = 5000, .x = 3, .p = 0.5, .seed = 9};
+  ParallelOptions opt;
+  opt.ranks = 5;
+  opt.keep_shards = true;
+  const auto result = generate(cfg, opt);
+  Count shard_total = 0;
+  for (const auto& shard : result.shards) shard_total += shard.size();
+  EXPECT_EQ(shard_total, result.edges.size())
+      << "shards and gathered list must describe the same edges";
+}
+
+}  // namespace
+}  // namespace pagen::core

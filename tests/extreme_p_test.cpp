@@ -1,0 +1,120 @@
+// Boundary values of the copy probability, sequential and distributed.
+//
+// p = 1: never copy — a uniform random recursive tree, zero request
+//        messages (every F_t resolves immediately).
+// p = 0: always copy — every F collapses through the chain to node 1's
+//        bootstrap value 0, so the network is a star at node 0, and every
+//        non-root node forms a dependency chain: the hardest workload for
+//        the waiting machinery (longest chains, deepest queues).
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/chain_tracer.h"
+#include "baseline/copy_model_seq.h"
+#include "core/generate.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+TEST(ExtremeP, PZeroIsAStarSequential) {
+  const PaConfig cfg{.n = 5000, .x = 1, .p = 0.0, .seed = 3};
+  const auto f = baseline::copy_model_targets(cfg);
+  for (NodeId t = 1; t < cfg.n; ++t) {
+    EXPECT_EQ(f[t], 0u) << "all copies must collapse to the bootstrap";
+  }
+}
+
+TEST(ExtremeP, PZeroParallelSurvivesMaximalDependencyPressure) {
+  // Every non-direct node waits; chains stretch across ranks. The protocol
+  // must still terminate and reproduce the star bitwise.
+  const PaConfig cfg{.n = 30000, .x = 1, .p = 0.0, .seed = 7};
+  for (int ranks : {4, 32}) {
+    ParallelOptions opt;
+    opt.ranks = ranks;
+    opt.scheme = partition::Scheme::kRrp;
+    const auto result = generate(cfg, opt);
+    EXPECT_EQ(result.targets, baseline::copy_model_targets(cfg))
+        << "ranks=" << ranks;
+    Count max_queue = 0;
+    for (const auto& l : result.loads) {
+      max_queue = std::max(max_queue, l.max_queue_depth);
+    }
+    EXPECT_GT(max_queue, 1u) << "p=0 must exercise deep wait queues";
+  }
+}
+
+TEST(ExtremeP, PZeroChainsAreSelectionChains) {
+  // With p = 0 no node is independent, so D_t = S_t exactly.
+  const PaConfig cfg{.n = 20000, .x = 1, .p = 0.0, .seed = 5};
+  const baseline::ChainTrace trace(cfg);
+  EXPECT_EQ(trace.dependency_lengths(), trace.selection_lengths());
+}
+
+TEST(ExtremeP, POneSendsNoRequests) {
+  const PaConfig cfg{.n = 20000, .x = 1, .p = 1.0, .seed = 9};
+  ParallelOptions opt;
+  opt.ranks = 8;
+  opt.gather_edges = false;
+  const auto result = generate(cfg, opt);
+  Count requests = 0;
+  for (const auto& l : result.loads) requests += l.requests_sent;
+  EXPECT_EQ(requests, 0u) << "p=1 resolves every node directly";
+  EXPECT_EQ(result.total_edges, cfg.n - 1);
+}
+
+TEST(ExtremeP, POneIsUniformAttachment) {
+  // Uniform random recursive trees have hub degree Θ(log n) — far below
+  // the Θ(sqrt n) of PA at the same size.
+  const PaConfig pa{.n = 50000, .x = 1, .p = 0.5, .seed = 11};
+  PaConfig urt = pa;
+  urt.p = 1.0;
+  auto hub = [](const PaConfig& c) {
+    const auto deg =
+        graph::degree_sequence(baseline::copy_model_x1(c), c.n);
+    return *std::max_element(deg.begin(), deg.end());
+  };
+  EXPECT_GT(hub(pa), 4 * hub(urt));
+}
+
+TEST(ExtremeP, GeneralAlgorithmAtPZero) {
+  // p = 0 with x > 1: every value copy-collapses into the clique, so each
+  // node connects to all x clique nodes — maximal duplicate-retry pressure.
+  const PaConfig cfg{.n = 3000, .x = 4, .p = 0.0, .seed = 13};
+  ParallelOptions opt;
+  opt.ranks = 6;
+  const auto result = generate(cfg, opt);
+  EXPECT_EQ(result.edges.size(), expected_edge_count(cfg));
+  EXPECT_EQ(graph::count_duplicates(result.edges), 0u);
+  EXPECT_EQ(graph::count_self_loops(result.edges), 0u);
+  for (const auto& e : result.edges) {
+    if (e.u > cfg.x) EXPECT_LT(e.v, cfg.x) << "all endpoints collapse to the clique";
+  }
+}
+
+TEST(ExtremeP, POneWithGeneralXIsRejected) {
+  // p = 1 never copies, so node x+1 cannot find x distinct endpoints: the
+  // generators refuse rather than retry forever (found by this very test
+  // hanging a 6-rank world before the abort machinery existed).
+  ParallelOptions opt;
+  opt.ranks = 2;
+  EXPECT_THROW(generate({.n = 100, .x = 4, .p = 1.0, .seed = 1}, opt),
+               CheckError);
+  EXPECT_THROW(baseline::copy_model_general({.n = 100, .x = 4, .p = 1.0,
+                                             .seed = 1}),
+               CheckError);
+}
+
+TEST(ExtremeP, OutOfRangePRejected) {
+  ParallelOptions opt;
+  opt.ranks = 2;
+  EXPECT_THROW(generate({.n = 100, .x = 1, .p = -0.1, .seed = 1}, opt),
+               CheckError);
+  EXPECT_THROW(generate({.n = 100, .x = 2, .p = 1.5, .seed = 1}, opt),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::core

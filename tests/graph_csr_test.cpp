@@ -1,0 +1,77 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+namespace pagen::graph {
+namespace {
+
+// Small fixed graph: a triangle 0-1-2 with a pendant 3 off node 2 and an
+// isolated node 4.
+EdgeList test_edges() { return {{0, 1}, {1, 2}, {2, 0}, {2, 3}}; }
+
+TEST(Csr, CountsAndDegrees) {
+  const CsrGraph g(test_edges(), 5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Csr, NeighborsSortedBothDirections) {
+  const CsrGraph g(test_edges(), 5);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 3u);
+}
+
+TEST(Csr, HasEdgeSymmetric) {
+  const CsrGraph g(test_edges(), 5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(4, 0));
+}
+
+TEST(Csr, MaxDegreeNode) {
+  const CsrGraph g(test_edges(), 5);
+  EXPECT_EQ(g.max_degree_node(), 2u);
+}
+
+TEST(Csr, MaxDegreeTieGoesToSmallestId) {
+  const EdgeList e{{0, 1}, {2, 3}};
+  const CsrGraph g(e, 4);
+  EXPECT_EQ(g.max_degree_node(), 0u);
+}
+
+TEST(Csr, BfsDistances) {
+  const CsrGraph g(test_edges(), 5);
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 2u);
+  EXPECT_EQ(dist[4], kNil) << "unreachable node";
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph g({}, 3);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(Csr, StarGraphDegrees) {
+  EdgeList star;
+  for (NodeId leaf = 1; leaf <= 10; ++leaf) star.push_back({0, leaf});
+  const CsrGraph g(star, 11);
+  EXPECT_EQ(g.degree(0), 10u);
+  for (NodeId leaf = 1; leaf <= 10; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+  EXPECT_EQ(g.max_degree_node(), 0u);
+}
+
+}  // namespace
+}  // namespace pagen::graph

@@ -1,0 +1,74 @@
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pagen::graph {
+namespace {
+
+TEST(EdgeList, NumNodesEmpty) { EXPECT_EQ(num_nodes({}), 0u); }
+
+TEST(EdgeList, NumNodesMaxEndpointPlusOne) {
+  const EdgeList e{{0, 5}, {3, 2}};
+  EXPECT_EQ(num_nodes(e), 6u);
+}
+
+TEST(EdgeList, NormalizeOrdersEndpointsAndSorts) {
+  EdgeList e{{5, 1}, {0, 2}, {2, 0}};
+  normalize(e);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], (Edge{0, 2}));
+  EXPECT_EQ(e[1], (Edge{0, 2}));
+  EXPECT_EQ(e[2], (Edge{1, 5}));
+}
+
+TEST(EdgeList, SelfLoopCount) {
+  const EdgeList e{{1, 1}, {2, 3}, {4, 4}};
+  EXPECT_EQ(count_self_loops(e), 2u);
+}
+
+TEST(EdgeList, DuplicateCountUndirected) {
+  // (1,2) and (2,1) are the same undirected edge.
+  const EdgeList e{{1, 2}, {2, 1}, {3, 4}, {3, 4}, {3, 4}};
+  EXPECT_EQ(count_duplicates(e), 3u);
+}
+
+TEST(EdgeList, DuplicateCountLeavesInputUntouched) {
+  const EdgeList e{{5, 1}, {1, 5}};
+  EXPECT_EQ(count_duplicates(e), 1u);
+  EXPECT_EQ(e[0], (Edge{5, 1})) << "input must not be reordered";
+}
+
+TEST(EdgeList, DegreeSequence) {
+  const EdgeList e{{0, 1}, {0, 2}, {1, 2}};
+  const auto deg = degree_sequence(e, 4);
+  EXPECT_EQ(deg, (std::vector<Count>{2, 2, 2, 0}));
+}
+
+TEST(EdgeList, DegreeSequenceRejectsOutOfRange) {
+  const EdgeList e{{0, 9}};
+  EXPECT_THROW(degree_sequence(e, 5), CheckError);
+}
+
+TEST(Components, IsolatedNodesEachCount) {
+  EXPECT_EQ(connected_components({}, 5), 5u);
+}
+
+TEST(Components, SingleChainIsOne) {
+  const EdgeList e{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(connected_components(e, 4), 1u);
+}
+
+TEST(Components, TwoIslands) {
+  const EdgeList e{{0, 1}, {2, 3}};
+  EXPECT_EQ(connected_components(e, 4), 2u);
+}
+
+TEST(Components, RedundantEdgesDoNotChangeCount) {
+  const EdgeList e{{0, 1}, {1, 0}, {0, 1}};
+  EXPECT_EQ(connected_components(e, 3), 2u);  // node 2 isolated
+}
+
+}  // namespace
+}  // namespace pagen::graph

@@ -1,0 +1,119 @@
+#include "graph/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "baseline/er_gen.h"
+
+namespace pagen::graph {
+namespace {
+
+TEST(Clustering, TriangleIsOne) {
+  const CsrGraph g(EdgeList{{0, 1}, {1, 2}, {2, 0}}, 3);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 1.0);
+}
+
+TEST(Clustering, StarIsZero) {
+  EdgeList star;
+  for (NodeId leaf = 1; leaf <= 6; ++leaf) star.push_back({0, leaf});
+  const CsrGraph g(star, 7);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 0.0);
+}
+
+TEST(Clustering, TriangleWithPendant) {
+  // Triangle 0-1-2 plus pendant 3 on node 2.
+  // closed wedge closures: nodes 0,1 contribute 1 each, node 2 contributes 1
+  // (of its 3 wedges). total closed = 3, wedges = 1 + 1 + 3 = 5.
+  const CsrGraph g(EdgeList{{0, 1}, {1, 2}, {2, 0}, {2, 3}}, 4);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 3.0 / 5.0);
+}
+
+TEST(Clustering, SampledMatchesExactOnCompleteGraph) {
+  EdgeList complete;
+  const NodeId n = 12;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) complete.push_back({i, j});
+  }
+  const CsrGraph g(complete, n);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(sampled_local_clustering(g, 50, 1), 1.0);
+}
+
+TEST(Clustering, PaBeatsErClustering) {
+  // PA networks have higher transitivity than density-matched ER graphs.
+  const PaConfig cfg{.n = 3000, .x = 4, .p = 0.5, .seed = 3};
+  const auto pa = baseline::copy_model_general(cfg);
+  const CsrGraph gpa(pa.edges, cfg.n);
+  const double er_p = 2.0 * static_cast<double>(pa.edges.size()) /
+                      (3000.0 * 2999.0);
+  const auto er = baseline::erdos_renyi({.n = 3000, .p = er_p, .seed = 3});
+  const CsrGraph ger(er, 3000);
+  EXPECT_GT(global_clustering(gpa), global_clustering(ger));
+}
+
+TEST(Assortativity, PerfectlyAssortativePairs) {
+  // Two disjoint edges between degree-1 nodes: all endpoint degrees equal;
+  // zero variance => defined as 0 by our implementation.
+  const CsrGraph g(EdgeList{{0, 1}, {2, 3}}, 4);
+  EXPECT_DOUBLE_EQ(degree_assortativity(g), 0.0);
+}
+
+TEST(Assortativity, StarIsPerfectlyDisassortative) {
+  EdgeList star;
+  for (NodeId leaf = 1; leaf <= 8; ++leaf) star.push_back({0, leaf});
+  const CsrGraph g(star, 9);
+  EXPECT_NEAR(degree_assortativity(g), -1.0, 1e-12);
+}
+
+TEST(Assortativity, PaIsDisassortative) {
+  // Growth PA networks show negative degree correlation (hubs link to
+  // low-degree late arrivals).
+  const PaConfig cfg{.n = 20000, .x = 3, .p = 0.5, .seed = 8};
+  const auto pa = baseline::copy_model_general(cfg);
+  const CsrGraph g(pa.edges, cfg.n);
+  EXPECT_LT(degree_assortativity(g), -0.01);
+}
+
+TEST(Diameter, PathGraph) {
+  const CsrGraph g(EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 5);
+  EXPECT_EQ(double_sweep_diameter(g, 2), 4u);
+}
+
+TEST(Diameter, StartingNodeDoesNotMatterMuch) {
+  const CsrGraph g(EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 5);
+  for (NodeId s = 0; s < 5; ++s) {
+    EXPECT_EQ(double_sweep_diameter(g, s), 4u) << "start " << s;
+  }
+}
+
+TEST(Diameter, PaNetworksAreSmallWorld) {
+  const PaConfig cfg{.n = 50000, .x = 4, .p = 0.5, .seed = 2};
+  const auto pa = baseline::copy_model_general(cfg);
+  const CsrGraph g(pa.edges, cfg.n);
+  const Count diam = double_sweep_diameter(g, 0);
+  EXPECT_LE(diam, 12u) << "PA diameter grows ~log n / log log n";
+  EXPECT_GE(diam, 3u);
+}
+
+TEST(MeanDistance, PathGraphFromSingleSource) {
+  const CsrGraph g(EdgeList{{0, 1}, {1, 2}}, 3);
+  // All sources give mean over 2 reachable targets: from the middle node,
+  // (1+1)/2 = 1; from ends, (1+2)/2 = 1.5. Average over sampled sources in
+  // [1, 1.5].
+  const double d = sampled_mean_distance(g, 30, 7);
+  EXPECT_GE(d, 1.0);
+  EXPECT_LE(d, 1.5);
+}
+
+TEST(MeanDistance, ShorterInDenserGraph) {
+  const PaConfig sparse{.n = 5000, .x = 2, .p = 0.5, .seed = 4};
+  const PaConfig dense{.n = 5000, .x = 10, .p = 0.5, .seed = 4};
+  const CsrGraph gs(baseline::copy_model_general(sparse).edges, 5000);
+  const CsrGraph gd(baseline::copy_model_general(dense).edges, 5000);
+  EXPECT_GT(sampled_mean_distance(gs, 5, 1), sampled_mean_distance(gd, 5, 1));
+}
+
+}  // namespace
+}  // namespace pagen::graph

@@ -1,0 +1,106 @@
+#include "graph/sharded_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pagen::graph {
+namespace {
+
+class ShardedIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pagen_shards_" + std::to_string(counter_++)))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::vector<EdgeList> sample_shards() {
+    return {{{1, 0}, {2, 0}}, {{3, 1}}, {}, {{4, 2}, {5, 0}, {5, 1}}};
+  }
+
+  std::string dir_;
+  static int counter_;
+};
+int ShardedIoTest::counter_ = 0;
+
+TEST_F(ShardedIoTest, SaveLoadRoundTrip) {
+  const auto shards = sample_shards();
+  save_sharded(dir_, 6, shards);
+
+  const ShardManifest m = load_manifest(dir_);
+  EXPECT_EQ(m.num_nodes, 6u);
+  EXPECT_EQ(m.num_shards, 4);
+  EXPECT_EQ(m.total_edges(), 6u);
+
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(load_shard(dir_, r), shards[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST_F(ShardedIoTest, LoadAllConcatenatesInRankOrder) {
+  const auto shards = sample_shards();
+  save_sharded(dir_, 6, shards);
+  const EdgeList all = load_all_shards(dir_);
+  EdgeList expected;
+  for (const auto& s : shards) expected.insert(expected.end(), s.begin(), s.end());
+  EXPECT_EQ(all, expected);
+}
+
+TEST_F(ShardedIoTest, EmptyShardIsLegal) {
+  save_sharded(dir_, 6, sample_shards());
+  EXPECT_TRUE(load_shard(dir_, 2).empty());
+}
+
+TEST_F(ShardedIoTest, MissingManifestRejected) {
+  std::filesystem::create_directories(dir_);
+  EXPECT_THROW(load_manifest(dir_), CheckError);
+}
+
+TEST_F(ShardedIoTest, MissingShardDetectedAtManifestWrite) {
+  const auto shards = sample_shards();
+  // Write only 3 of 4 shards, then try to commit the manifest.
+  for (int r = 0; r < 3; ++r) {
+    write_shard(dir_, r, shards[static_cast<std::size_t>(r)]);
+  }
+  EXPECT_THROW(write_manifest(dir_, 6, shards), CheckError);
+}
+
+TEST_F(ShardedIoTest, CountMismatchDetectedAtLoad) {
+  const auto shards = sample_shards();
+  save_sharded(dir_, 6, shards);
+  // Overwrite shard 1 with a different edge count behind the manifest's back.
+  write_shard(dir_, 1, EdgeList{{3, 1}, {3, 2}});
+  EXPECT_THROW(load_all_shards(dir_), CheckError);
+}
+
+TEST_F(ShardedIoTest, CorruptShardDetectedByChecksum) {
+  const auto shards = sample_shards();
+  save_sharded(dir_, 6, shards);
+  // Flip a byte in shard 3's payload.
+  const std::string path = shard_path(dir_, 3);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(20);
+  char c;
+  f.seekg(20);
+  f.get(c);
+  f.seekp(20);
+  f.put(static_cast<char>(c ^ 1));
+  f.close();
+  EXPECT_THROW(load_shard(dir_, 3), CheckError);
+}
+
+TEST_F(ShardedIoTest, ManifestVersionChecked) {
+  save_sharded(dir_, 6, sample_shards());
+  std::ofstream m(dir_ + "/manifest.pagen");
+  m << "pagen-shards 99\n";
+  m.close();
+  EXPECT_THROW(load_manifest(dir_), CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::graph

@@ -1,0 +1,114 @@
+// Evolving-network properties: the counter-based draw schema makes network
+// growth compositional — extending a generated network is bitwise the same
+// as generating the larger network from scratch, sequentially and in
+// parallel, which is how "evolving in nature" (Section 3.1) becomes a
+// usable feature.
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "core/generate.h"
+#include "graph/csr.h"
+#include "graph/metrics.h"
+#include "util/error.h"
+
+namespace pagen {
+namespace {
+
+TEST(Growth, ExtendEqualsDirectGeneration) {
+  PaConfig small{.n = 2000, .x = 1, .p = 0.5, .seed = 31};
+  PaConfig large = small;
+  large.n = 9000;
+
+  auto grown = baseline::copy_model_targets(small);
+  baseline::extend_copy_model(grown, large);
+  EXPECT_EQ(grown, baseline::copy_model_targets(large));
+}
+
+TEST(Growth, RepeatedExtensionsCompose) {
+  PaConfig cfg{.n = 500, .x = 1, .p = 0.5, .seed = 7};
+  auto grown = baseline::copy_model_targets(cfg);
+  for (NodeId n : {NodeId{1200}, NodeId{1201}, NodeId{4000}}) {
+    cfg.n = n;
+    baseline::extend_copy_model(grown, cfg);
+  }
+  EXPECT_EQ(grown, baseline::copy_model_targets(cfg));
+}
+
+TEST(Growth, ParallelRunContinuesASequentialPrefix) {
+  // Generate 3k nodes sequentially, then run the distributed generator at
+  // 12k: the first 3k targets must be the sequential network unchanged —
+  // the parallel algorithm "evolves" the same network.
+  PaConfig small{.n = 3000, .x = 1, .p = 0.5, .seed = 13};
+  PaConfig large = small;
+  large.n = 12000;
+  const auto prefix = baseline::copy_model_targets(small);
+
+  core::ParallelOptions opt;
+  opt.ranks = 8;
+  const auto result = core::generate(large, opt);
+  for (NodeId t = 0; t < small.n; ++t) {
+    ASSERT_EQ(result.targets[t], prefix[t]) << "node " << t;
+  }
+}
+
+TEST(Growth, OldNodesKeepGainingDegree) {
+  // The rich-get-richer dynamic across growth steps: node 0's degree must
+  // be non-decreasing and typically growing as the network evolves.
+  PaConfig cfg{.n = 1000, .x = 1, .p = 0.5, .seed = 3};
+  auto targets = baseline::copy_model_targets(cfg);
+  auto degree_of_zero = [&](const std::vector<NodeId>& f) {
+    Count d = 0;
+    for (NodeId t = 1; t < f.size(); ++t) d += (f[t] == 0);
+    return d;
+  };
+  const Count early = degree_of_zero(targets);
+  cfg.n = 64000;
+  baseline::extend_copy_model(targets, cfg);
+  const Count late = degree_of_zero(targets);
+  EXPECT_GT(late, 2 * early);
+}
+
+TEST(Growth, ExtendValidatesInput) {
+  PaConfig cfg{.n = 100, .x = 1, .p = 0.5, .seed = 1};
+  auto targets = baseline::copy_model_targets(cfg);
+  cfg.n = 50;  // shrinking is not growth
+  EXPECT_THROW(baseline::extend_copy_model(targets, cfg), CheckError);
+  cfg.x = 2;
+  cfg.n = 200;
+  EXPECT_THROW(baseline::extend_copy_model(targets, cfg), CheckError);
+}
+
+TEST(Knn, StarGraph) {
+  graph::EdgeList star;
+  for (NodeId leaf = 1; leaf <= 8; ++leaf) star.push_back({0, leaf});
+  const graph::CsrGraph g(star, 9);
+  const auto knn = graph::average_neighbor_degree(g);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].degree, 1u);
+  EXPECT_DOUBLE_EQ(knn[0].knn, 8.0);  // leaves see the hub
+  EXPECT_EQ(knn[1].degree, 8u);
+  EXPECT_DOUBLE_EQ(knn[1].knn, 1.0);  // the hub sees leaves
+}
+
+TEST(Knn, PaNetworksAreDisassortative) {
+  // knn(d) decreases with d for growth PA networks: high-degree classes
+  // see lower average neighbor degree than low-degree classes.
+  const PaConfig cfg{.n = 30000, .x = 4, .p = 0.5, .seed = 5};
+  const auto edges = baseline::copy_model_general(cfg).edges;
+  const graph::CsrGraph g(edges, cfg.n);
+  const auto knn = graph::average_neighbor_degree(g);
+  ASSERT_GE(knn.size(), 10u);
+  // Compare the lowest degree class against high-degree classes (mean of
+  // the top quartile of classes, weighting ignored).
+  double high = 0.0;
+  Count high_classes = 0;
+  for (std::size_t i = knn.size() * 3 / 4; i < knn.size(); ++i) {
+    high += knn[i].knn;
+    ++high_classes;
+  }
+  high /= static_cast<double>(high_classes);
+  EXPECT_GT(knn.front().knn, 1.2 * high);
+}
+
+}  // namespace
+}  // namespace pagen

@@ -1,0 +1,85 @@
+#include "analysis/ks_distance.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
+
+namespace pagen::analysis {
+namespace {
+
+TEST(KsDistance, IdenticalSamplesAreZero) {
+  const std::vector<Count> a{1, 2, 2, 3, 5, 8};
+  EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+}
+
+TEST(KsDistance, DisjointSupportsAreOne) {
+  const std::vector<Count> a{1, 1, 2};
+  const std::vector<Count> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(KsDistance, HandComputedCase) {
+  // a: CDF steps at 1 (.5) and 3 (1.0); b: steps at 2 (.5) and 3 (1.0).
+  // sup gap is at d=1: |0.5 - 0| = 0.5.
+  const std::vector<Count> a{1, 3};
+  const std::vector<Count> b{2, 3};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.5);
+}
+
+TEST(KsDistance, SymmetricInArguments) {
+  const std::vector<Count> a{1, 4, 4, 9};
+  const std::vector<Count> b{2, 4, 8};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), ks_distance(b, a));
+}
+
+TEST(KsDistance, DifferentSampleSizes) {
+  const std::vector<Count> a{5, 5, 5, 5};
+  const std::vector<Count> b{5, 5};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.0);
+}
+
+TEST(KsDistance, RejectsEmpty) {
+  const std::vector<Count> a{1};
+  EXPECT_THROW(ks_distance(a, {}), CheckError);
+}
+
+TEST(KsDistance, SameDistributionPassesCriticalValue) {
+  // Two independent PA runs (different seeds, same parameters): KS distance
+  // below the 1% critical value.
+  const PaConfig a{.n = 20000, .x = 4, .p = 0.5, .seed = 1};
+  const PaConfig b{.n = 20000, .x = 4, .p = 0.5, .seed = 2};
+  const auto deg_a =
+      graph::degree_sequence(baseline::copy_model_general(a).edges, a.n);
+  const auto deg_b =
+      graph::degree_sequence(baseline::copy_model_general(b).edges, b.n);
+  EXPECT_LT(ks_distance(deg_a, deg_b),
+            ks_critical_value(deg_a.size(), deg_b.size(), 0.01));
+}
+
+TEST(KsDistance, DifferentParametersFailCriticalValue) {
+  // x = 4 vs x = 6 are different distributions — KS must exceed critical.
+  const PaConfig a{.n = 20000, .x = 4, .p = 0.5, .seed = 1};
+  const PaConfig b{.n = 20000, .x = 6, .p = 0.5, .seed = 1};
+  const auto deg_a =
+      graph::degree_sequence(baseline::copy_model_general(a).edges, a.n);
+  const auto deg_b =
+      graph::degree_sequence(baseline::copy_model_general(b).edges, b.n);
+  EXPECT_GT(ks_distance(deg_a, deg_b),
+            ks_critical_value(deg_a.size(), deg_b.size(), 0.01));
+}
+
+TEST(KsCritical, ShrinksWithSampleSize) {
+  EXPECT_GT(ks_critical_value(100, 100), ks_critical_value(10000, 10000));
+}
+
+TEST(KsCritical, TighterAlphaIsLarger) {
+  EXPECT_GT(ks_critical_value(1000, 1000, 0.001),
+            ks_critical_value(1000, 1000, 0.05));
+}
+
+}  // namespace
+}  // namespace pagen::analysis

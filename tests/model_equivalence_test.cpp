@@ -1,0 +1,72 @@
+// Cross-implementation distribution equivalence: at p = 1/2 the copy model
+// *is* the Barabási–Albert process (Section 3.1's derivation), so the copy
+// model, the repetition-list BA generator, and the distributed algorithm
+// must all sample the same degree distribution. Verified with two-sample
+// KS tests at the 1% level.
+#include <gtest/gtest.h>
+
+#include "analysis/ks_distance.h"
+#include "analysis/powerlaw_fit.h"
+#include "baseline/ba_batagelj_brandes.h"
+#include "baseline/copy_model_seq.h"
+#include "core/generate.h"
+#include "graph/edge_list.h"
+
+namespace pagen {
+namespace {
+
+std::vector<Count> degrees_of(const graph::EdgeList& edges, NodeId n) {
+  return graph::degree_sequence(edges, n);
+}
+
+TEST(ModelEquivalence, CopyModelMatchesBaTrees) {
+  const PaConfig cfg{.n = 50000, .x = 1, .p = 0.5, .seed = 3};
+  const auto copy_deg = degrees_of(baseline::copy_model_x1(cfg), cfg.n);
+  const auto ba_deg = degrees_of(baseline::ba_batagelj_brandes(cfg), cfg.n);
+  EXPECT_LT(analysis::ks_distance(copy_deg, ba_deg),
+            analysis::ks_critical_value(copy_deg.size(), ba_deg.size(), 0.01));
+}
+
+TEST(ModelEquivalence, CopyModelMatchesBaGeneral) {
+  const PaConfig cfg{.n = 40000, .x = 4, .p = 0.5, .seed = 5};
+  const auto copy_deg =
+      degrees_of(baseline::copy_model_general(cfg).edges, cfg.n);
+  const auto ba_deg = degrees_of(baseline::ba_batagelj_brandes(cfg), cfg.n);
+  EXPECT_LT(analysis::ks_distance(copy_deg, ba_deg),
+            analysis::ks_critical_value(copy_deg.size(), ba_deg.size(), 0.01));
+}
+
+TEST(ModelEquivalence, ParallelMatchesBa) {
+  const PaConfig cfg{.n = 40000, .x = 4, .p = 0.5, .seed = 7};
+  core::ParallelOptions opt;
+  opt.ranks = 8;
+  const auto par_deg = degrees_of(core::generate(cfg, opt).edges, cfg.n);
+  const auto ba_deg = degrees_of(baseline::ba_batagelj_brandes(cfg), cfg.n);
+  EXPECT_LT(analysis::ks_distance(par_deg, ba_deg),
+            analysis::ks_critical_value(par_deg.size(), ba_deg.size(), 0.01));
+}
+
+TEST(ModelEquivalence, OffHalfPIsNotBa) {
+  // Sanity for the KS machinery: p != 1/2 is a *different* distribution
+  // (heavier/lighter tail), and the test must detect it.
+  const PaConfig ba_cfg{.n = 40000, .x = 4, .p = 0.5, .seed = 9};
+  PaConfig off = ba_cfg;
+  off.p = 0.15;
+  const auto ba_deg = degrees_of(baseline::ba_batagelj_brandes(ba_cfg), ba_cfg.n);
+  const auto off_deg =
+      degrees_of(baseline::copy_model_general(off).edges, off.n);
+  EXPECT_GT(analysis::ks_distance(off_deg, ba_deg),
+            analysis::ks_critical_value(off_deg.size(), ba_deg.size(), 0.01));
+}
+
+TEST(ModelEquivalence, FittedExponentsAgree) {
+  const PaConfig cfg{.n = 100000, .x = 4, .p = 0.5, .seed = 11};
+  const auto copy_fit = analysis::fit_gamma_mle(
+      degrees_of(baseline::copy_model_general(cfg).edges, cfg.n), cfg.x);
+  const auto ba_fit = analysis::fit_gamma_mle(
+      degrees_of(baseline::ba_batagelj_brandes(cfg), cfg.n), cfg.x);
+  EXPECT_NEAR(copy_fit.gamma, ba_fit.gamma, 0.1);
+}
+
+}  // namespace
+}  // namespace pagen

@@ -1,0 +1,60 @@
+#include "mps/message.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pagen::mps {
+namespace {
+
+struct Pod {
+  std::uint64_t a;
+  std::uint32_t b;
+  std::uint32_t c;
+
+  friend bool operator==(const Pod&, const Pod&) = default;
+};
+
+TEST(Message, PackUnpackRoundTrip) {
+  const std::vector<Pod> in{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  std::vector<std::byte> payload;
+  pack(payload, std::span<const Pod>(in));
+  EXPECT_EQ(payload.size(), in.size() * sizeof(Pod));
+  const auto out = unpack<Pod>(payload);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Message, PackAppends) {
+  std::vector<std::byte> payload;
+  pack_one<std::uint64_t>(payload, 11);
+  pack_one<std::uint64_t>(payload, 22);
+  const auto out = unpack<std::uint64_t>(payload);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 11u);
+  EXPECT_EQ(out[1], 22u);
+}
+
+TEST(Message, UnpackEmptyPayload) {
+  EXPECT_TRUE(unpack<Pod>({}).empty());
+}
+
+TEST(Message, UnpackRejectsMisalignedSize) {
+  std::vector<std::byte> payload(sizeof(Pod) + 1);
+  EXPECT_THROW(unpack<Pod>(payload), CheckError);
+}
+
+TEST(Message, ForEachPackedVisitsInOrder) {
+  const std::vector<std::uint64_t> in{5, 6, 7};
+  std::vector<std::byte> payload;
+  pack(payload, std::span<const std::uint64_t>(in));
+  std::vector<std::uint64_t> seen;
+  for_each_packed<std::uint64_t>(payload,
+                                 [&](std::uint64_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, in);
+}
+
+}  // namespace
+}  // namespace pagen::mps

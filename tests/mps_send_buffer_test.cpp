@@ -1,0 +1,117 @@
+#include "mps/send_buffer.h"
+
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mps/engine.h"
+
+namespace pagen::mps {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Item {
+  std::uint64_t v;
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+TEST(SendBuffer, HoldsItemsBelowCapacity) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      SendBuffer<Item> buf(comm, 1, 10);
+      buf.add(1, {1});
+      buf.add(1, {2});
+      EXPECT_EQ(comm.stats().envelopes_sent, 0u)
+          << "nothing should be sent before capacity or flush";
+      EXPECT_FALSE(buf.empty());
+      buf.flush_all();
+      EXPECT_TRUE(buf.empty());
+      EXPECT_EQ(comm.stats().envelopes_sent, 1u) << "one combined envelope";
+    } else {
+      std::vector<Envelope> in;
+      while (!comm.poll_wait(in, 100ms)) {
+      }
+      ASSERT_EQ(in.size(), 1u);
+      const auto items = unpack<Item>(in[0].payload);
+      EXPECT_EQ(items, (std::vector<Item>{{1}, {2}}));
+    }
+    comm.barrier();
+  });
+}
+
+TEST(SendBuffer, AutoFlushAtCapacity) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      SendBuffer<Item> buf(comm, 1, 3);
+      for (std::uint64_t i = 0; i < 7; ++i) buf.add(1, {i});
+      EXPECT_EQ(comm.stats().envelopes_sent, 2u) << "two full batches of 3";
+      EXPECT_EQ(buf.flushes(), 2u);
+      EXPECT_EQ(buf.items_added(), 7u);
+      buf.flush_all();
+      EXPECT_EQ(comm.stats().envelopes_sent, 3u);
+    } else {
+      std::vector<Envelope> in;
+      std::vector<Item> got;
+      while (got.size() < 7) {
+        in.clear();
+        if (comm.poll_wait(in, 100ms)) {
+          for (const auto& env : in) {
+            for (Item it : unpack<Item>(env.payload)) got.push_back(it);
+          }
+        }
+      }
+      for (std::uint64_t i = 0; i < 7; ++i) EXPECT_EQ(got[i].v, i);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(SendBuffer, CapacityOneDisablesAggregation) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      SendBuffer<Item> buf(comm, 1, 1);
+      buf.add(1, {1});
+      buf.add(1, {2});
+      EXPECT_EQ(comm.stats().envelopes_sent, 2u);
+    } else {
+      std::vector<Envelope> in;
+      while (in.size() < 2) comm.poll_wait(in, 100ms);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(SendBuffer, FlushOfEmptyDestinationIsNoop) {
+  run_ranks(2, [](Comm& comm) {
+    SendBuffer<Item> buf(comm, 1, 4);
+    buf.flush_all();
+    EXPECT_EQ(comm.stats().envelopes_sent, 0u);
+    comm.barrier();
+  });
+}
+
+TEST(SendBuffer, SeparateBuffersPerDestination) {
+  run_ranks(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      SendBuffer<Item> buf(comm, 1, 10);
+      buf.add(1, {11});
+      buf.add(2, {22});
+      buf.flush_all();
+      EXPECT_EQ(comm.stats().envelopes_sent, 2u);
+    } else {
+      std::vector<Envelope> in;
+      while (!comm.poll_wait(in, 100ms)) {
+      }
+      const auto items = unpack<Item>(in[0].payload);
+      ASSERT_EQ(items.size(), 1u);
+      EXPECT_EQ(items[0].v, comm.rank() == 1 ? 11u : 22u);
+    }
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace pagen::mps

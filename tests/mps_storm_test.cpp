@@ -1,0 +1,112 @@
+// Runtime fuzz: random message storms across ranks with full accounting.
+// Exercises the mailbox/comm layer under irregular traffic patterns —
+// random destinations, random batch sizes, interleaved collectives — and
+// verifies nothing is lost, duplicated, or corrupted.
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mps/engine.h"
+#include "mps/send_buffer.h"
+#include "rng/splitmix.h"
+#include "rng/xoshiro.h"
+
+namespace pagen::mps {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kTagData = 1;
+
+struct Item {
+  std::uint64_t src;
+  std::uint64_t sequence;
+  std::uint64_t checksum;  // mix(src, sequence)
+
+  static Item make(Rank src, std::uint64_t seq) {
+    const auto s = static_cast<std::uint64_t>(src);
+    return {s, seq, rng::splitmix64_mix(s * 1000003 + seq)};
+  }
+
+  [[nodiscard]] bool valid() const {
+    return checksum == rng::splitmix64_mix(src * 1000003 + sequence);
+  }
+};
+
+TEST(MessageStorm, RandomTrafficFullyAccounted) {
+  constexpr int kRanks = 10;
+  constexpr std::uint64_t kItemsPerRank = 5000;
+
+  std::vector<Count> received_valid(kRanks, 0);
+  run_ranks(kRanks, [&](Comm& comm) {
+    rng::Xoshiro256pp rng(
+        rng::splitmix64_mix(99 + static_cast<std::uint64_t>(comm.rank())));
+    SendBuffer<Item> buf(comm, kTagData, 1 + rng.below(97));
+
+    std::uint64_t sent = 0;
+    std::vector<Envelope> inbox;
+    auto drain = [&] {
+      inbox.clear();
+      comm.poll(inbox);
+      for (const Envelope& env : inbox) {
+        for_each_packed<Item>(env.payload, [&](const Item& item) {
+          ASSERT_TRUE(item.valid()) << "corrupted item in transit";
+          ++received_valid[static_cast<std::size_t>(comm.rank())];
+        });
+      }
+    };
+
+    while (sent < kItemsPerRank) {
+      // Random burst to a random destination (possibly self).
+      const auto burst = 1 + rng.below(50);
+      const auto dst = static_cast<Rank>(rng.below(kRanks));
+      for (std::uint64_t b = 0; b < burst && sent < kItemsPerRank; ++b) {
+        buf.add(dst, Item::make(comm.rank(), sent++));
+      }
+      if (rng.below(4) == 0) drain();
+    }
+    buf.flush_all();
+    // A barrier here guarantees all data is enqueued everywhere before the
+    // final drain (synchronous transport).
+    comm.barrier();
+    drain();
+    const Count total = comm.allreduce_sum(
+        received_valid[static_cast<std::size_t>(comm.rank())]);
+    EXPECT_EQ(total, kRanks * kItemsPerRank);
+  });
+}
+
+TEST(MessageStorm, InterleavedCollectivesAndTraffic) {
+  constexpr int kRanks = 6;
+  run_ranks(kRanks, [&](Comm& comm) {
+    rng::Xoshiro256pp rng(
+        rng::splitmix64_mix(7 + static_cast<std::uint64_t>(comm.rank())));
+    Count my_received = 0;
+    std::vector<Envelope> inbox;
+    for (int round = 0; round < 30; ++round) {
+      // Everyone sends `round` items to a rotating destination...
+      const auto dst = static_cast<Rank>((comm.rank() + round) % kRanks);
+      for (int i = 0; i < round; ++i) {
+        comm.send_item<Item>(dst, kTagData,
+                             Item::make(comm.rank(), static_cast<std::uint64_t>(round)));
+      }
+      // ...then a collective interleaves with in-flight data traffic.
+      comm.barrier();
+      inbox.clear();
+      comm.poll(inbox);
+      for (const Envelope& env : inbox) {
+        for_each_packed<Item>(env.payload, [&](const Item& item) {
+          ASSERT_TRUE(item.valid());
+          ++my_received;
+        });
+      }
+      comm.barrier();
+    }
+    const Count total = comm.allreduce_sum(my_received);
+    EXPECT_EQ(total, static_cast<Count>(kRanks) * (29 * 30 / 2));
+  });
+}
+
+}  // namespace
+}  // namespace pagen::mps

@@ -1,0 +1,97 @@
+#include "core/parallel_cl.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/powerlaw_fit.h"
+#include "core/distributed_degree.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+baseline::ClConfig sample_config(NodeId n = 20000, double gamma = 2.5,
+                                 std::uint64_t seed = 5) {
+  baseline::ClConfig cfg;
+  cfg.weights = baseline::power_law_weights(n, gamma, 6.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ParallelCl, SimpleGraphInvariants) {
+  const auto result = generate_cl(sample_config(), 8);
+  EXPECT_EQ(graph::count_self_loops(result.edges), 0u);
+  EXPECT_EQ(graph::count_duplicates(result.edges), 0u);
+  for (const auto& e : result.edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(ParallelCl, RankCountIndependentBitwise) {
+  // Per-row streams: the edge set is identical for any P.
+  const auto cfg = sample_config(5000);
+  auto reference = generate_cl(cfg, 1).edges;
+  graph::normalize(reference);
+  for (int ranks : {2, 7, 16}) {
+    auto edges = generate_cl(cfg, ranks).edges;
+    graph::normalize(edges);
+    EXPECT_EQ(edges, reference) << "ranks=" << ranks;
+  }
+}
+
+TEST(ParallelCl, EdgeCountNearHalfWeightSum) {
+  baseline::ClConfig cfg;
+  cfg.weights.assign(20000, 8.0);
+  cfg.seed = 7;
+  const auto result = generate_cl(cfg, 8);
+  const double expected = 20000.0 * 8.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(result.total_edges), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(ParallelCl, HeavyNodesGetTheirExpectedDegree) {
+  baseline::ClConfig cfg;
+  cfg.weights.assign(10000, 4.0);
+  cfg.weights[0] = 300.0;
+  cfg.weights[1] = 150.0;  // keep non-increasing order
+  cfg.seed = 9;
+  const auto result = generate_cl(cfg, 6);
+  const auto deg = graph::degree_sequence(result.edges, 10000);
+  EXPECT_NEAR(static_cast<double>(deg[0]), 300.0, 5 * std::sqrt(300.0));
+  EXPECT_NEAR(static_cast<double>(deg[1]), 150.0, 5 * std::sqrt(150.0));
+}
+
+TEST(ParallelCl, PowerLawExponentRecovered) {
+  const auto result = generate_cl(sample_config(150000, 2.5, 11), 8);
+  const auto deg = graph::degree_sequence(result.edges, 150000);
+  const auto fit = analysis::fit_gamma_mle(deg, 8);
+  EXPECT_NEAR(fit.gamma, 2.5, 0.3);
+}
+
+TEST(ParallelCl, ShardsComposeWithDistributedAnalytics) {
+  // CL shards are row-keyed (RRP over the smaller endpoint); the analytics
+  // passes accept any edge placement, so the distributed histogram must
+  // match the centralized one.
+  const auto cfg = sample_config(8000);
+  const auto result = generate_cl(cfg, 5, /*gather=*/true);
+  const auto hist = distributed_degree_distribution(
+      result.shards, 8000, partition::Scheme::kRrp);
+  Count mass = 0;
+  for (const auto& [degree, count] : hist) mass += degree * count;
+  EXPECT_EQ(mass, 2 * result.total_edges);
+}
+
+TEST(ParallelCl, RejectsUnsortedWeights) {
+  baseline::ClConfig cfg;
+  cfg.weights = {1.0, 5.0, 2.0};
+  EXPECT_THROW(generate_cl(cfg, 2), CheckError);
+}
+
+TEST(ParallelCl, GatherCanBeDisabled) {
+  const auto result = generate_cl(sample_config(3000), 4, false);
+  EXPECT_TRUE(result.edges.empty());
+  EXPECT_GT(result.total_edges, 0u);
+}
+
+}  // namespace
+}  // namespace pagen::core

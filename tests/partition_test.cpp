@@ -1,0 +1,160 @@
+#include "partition/partition.h"
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pagen::partition {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property sweep: every scheme must induce a true partition of {0..n-1} with
+// consistent owner/node_at/local_index/part_size for a grid of (n, P).
+// ---------------------------------------------------------------------------
+
+using Param = std::tuple<Scheme, NodeId, int>;
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return to_string(std::get<0>(info.param)) + "_n" +
+         std::to_string(std::get<1>(info.param)) + "_p" +
+         std::to_string(std::get<2>(info.param));
+}
+
+class PartitionProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PartitionProperties, SizesSumToN) {
+  const auto [scheme, n, parts] = GetParam();
+  const auto part = make_partition(scheme, n, parts);
+  Count total = 0;
+  for (Rank i = 0; i < parts; ++i) total += part->part_size(i);
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(PartitionProperties, EveryNodeOwnedExactlyOnce) {
+  const auto [scheme, n, parts] = GetParam();
+  const auto part = make_partition(scheme, n, parts);
+  std::vector<Count> per_part(static_cast<std::size_t>(parts), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const Rank o = part->owner(u);
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, parts);
+    ++per_part[static_cast<std::size_t>(o)];
+  }
+  for (Rank i = 0; i < parts; ++i) {
+    EXPECT_EQ(per_part[static_cast<std::size_t>(i)], part->part_size(i))
+        << "part " << i;
+  }
+}
+
+TEST_P(PartitionProperties, NodeAtEnumeratesOwnedNodesAscending) {
+  const auto [scheme, n, parts] = GetParam();
+  const auto part = make_partition(scheme, n, parts);
+  std::set<NodeId> seen;
+  for (Rank i = 0; i < parts; ++i) {
+    NodeId prev = 0;
+    for (Count idx = 0; idx < part->part_size(i); ++idx) {
+      const NodeId u = part->node_at(i, idx);
+      ASSERT_LT(u, n);
+      EXPECT_EQ(part->owner(u), i);
+      if (idx > 0) EXPECT_GT(u, prev) << "ascending order within a part";
+      prev = u;
+      EXPECT_TRUE(seen.insert(u).second) << "node " << u << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST_P(PartitionProperties, LocalIndexInvertsNodeAt) {
+  const auto [scheme, n, parts] = GetParam();
+  const auto part = make_partition(scheme, n, parts);
+  for (Rank i = 0; i < parts; ++i) {
+    for (Count idx = 0; idx < part->part_size(i); ++idx) {
+      const NodeId u = part->node_at(i, idx);
+      EXPECT_EQ(part->local_index(u), idx);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperties,
+    ::testing::Combine(::testing::Values(Scheme::kUcp, Scheme::kLcp,
+                                         Scheme::kRrp),
+                       ::testing::Values<NodeId>(16, 100, 1001, 65536),
+                       ::testing::Values(1, 2, 7, 16)),
+    param_name);
+
+// ---------------------------------------------------------------------------
+// Scheme-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Ucp, BlocksAreConsecutiveAndUniform) {
+  const auto part = make_partition(Scheme::kUcp, 100, 4);
+  for (Rank i = 0; i < 4; ++i) EXPECT_EQ(part->part_size(i), 25u);
+  EXPECT_EQ(part->owner(0), 0);
+  EXPECT_EQ(part->owner(24), 0);
+  EXPECT_EQ(part->owner(25), 1);
+  EXPECT_EQ(part->owner(99), 3);
+}
+
+TEST(Rrp, OwnerIsModulo) {
+  const auto part = make_partition(Scheme::kRrp, 100, 7);
+  for (NodeId u = 0; u < 100; ++u) {
+    EXPECT_EQ(part->owner(u), static_cast<Rank>(u % 7));
+  }
+}
+
+TEST(Rrp, PartSizesDifferByAtMostOne) {
+  const auto part = make_partition(Scheme::kRrp, 100, 7);
+  Count lo = ~Count{0}, hi = 0;
+  for (Rank i = 0; i < 7; ++i) {
+    lo = std::min(lo, part->part_size(i));
+    hi = std::max(hi, part->part_size(i));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Lcp, BlocksAreConsecutive) {
+  const auto part = make_partition(Scheme::kLcp, 100000, 8);
+  NodeId expected_start = 0;
+  for (Rank i = 0; i < 8; ++i) {
+    EXPECT_EQ(part->node_at(i, 0), expected_start);
+    expected_start += part->part_size(i);
+  }
+}
+
+TEST(Lcp, BlockSizesIncreaseWithRank) {
+  // Lower-ranked processors receive more request messages (Lemma 3.4), so
+  // LCP gives them fewer nodes: sizes must be non-decreasing in rank.
+  const auto part = make_partition(Scheme::kLcp, 1000000, 16);
+  for (Rank i = 0; i + 1 < 16; ++i) {
+    EXPECT_LE(part->part_size(i), part->part_size(i + 1) + 1)
+        << "rank " << i;  // +1 tolerance for integer rounding
+  }
+  EXPECT_LT(part->part_size(0), part->part_size(15))
+      << "first block must be clearly smaller than last";
+}
+
+TEST(Factory, SchemeRoundTrip) {
+  for (Scheme s : {Scheme::kUcp, Scheme::kLcp, Scheme::kRrp}) {
+    EXPECT_EQ(scheme_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW(scheme_from_string("bogus"), CheckError);
+}
+
+TEST(Factory, RejectsMoreRanksThanNodes) {
+  EXPECT_THROW(make_partition(Scheme::kUcp, 3, 5), CheckError);
+}
+
+TEST(Partition, SinglePartOwnsEverything) {
+  for (Scheme s : {Scheme::kUcp, Scheme::kLcp, Scheme::kRrp}) {
+    const auto part = make_partition(s, 50, 1);
+    EXPECT_EQ(part->part_size(0), 50u);
+    for (NodeId u = 0; u < 50; ++u) EXPECT_EQ(part->owner(u), 0);
+  }
+}
+
+}  // namespace
+}  // namespace pagen::partition

@@ -1,0 +1,95 @@
+// Randomized property sweep: generate under randomly drawn configurations
+// and assert every structural invariant. Catches interaction bugs the
+// hand-picked parameter grids miss (odd rank counts vs tiny n, extreme p,
+// buffer-capacity edge cases, scheme boundaries).
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "core/generate.h"
+#include "graph/edge_list.h"
+#include "rng/xoshiro.h"
+
+namespace pagen::core {
+namespace {
+
+struct FuzzCase {
+  PaConfig config;
+  ParallelOptions options;
+};
+
+FuzzCase draw_case(rng::Xoshiro256pp& rng) {
+  FuzzCase c;
+  c.config.x = 1 + rng.below(8);
+  c.config.n = c.config.x + 2 + rng.below(3000);
+  c.config.p = 0.05 + 0.9 * rng.unit();
+  c.config.seed = rng();
+  c.options.ranks =
+      1 + static_cast<int>(rng.below(std::min<Count>(c.config.n, 24)));
+  c.options.scheme = static_cast<partition::Scheme>(rng.below(3));
+  c.options.buffer_capacity = 1 + rng.below(300);
+  c.options.node_batch = 1 + rng.below(2000);
+  return c;
+}
+
+TEST(PropertyFuzz, RandomConfigsKeepAllInvariants) {
+  rng::Xoshiro256pp rng(20130501);
+  for (int trial = 0; trial < 40; ++trial) {
+    const FuzzCase c = draw_case(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": n=" << c.config.n
+                 << " x=" << c.config.x << " p=" << c.config.p
+                 << " ranks=" << c.options.ranks << " scheme="
+                 << partition::to_string(c.options.scheme)
+                 << " buffer=" << c.options.buffer_capacity
+                 << " batch=" << c.options.node_batch
+                 << " seed=" << c.config.seed);
+
+    const auto result = generate(c.config, c.options);
+    ASSERT_EQ(result.edges.size(), expected_edge_count(c.config));
+    ASSERT_EQ(graph::count_self_loops(result.edges), 0u);
+    ASSERT_EQ(graph::count_duplicates(result.edges), 0u);
+    ASSERT_EQ(graph::connected_components(result.edges, c.config.n), 1u);
+    for (const auto& e : result.edges) {
+      ASSERT_LT(e.v, e.u);
+      ASSERT_LT(e.u, c.config.n);
+    }
+  }
+}
+
+TEST(PropertyFuzz, X1AlwaysBitwiseExact) {
+  rng::Xoshiro256pp rng(19991021);
+  for (int trial = 0; trial < 30; ++trial) {
+    FuzzCase c = draw_case(rng);
+    c.config.x = 1;
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": n=" << c.config.n
+                 << " p=" << c.config.p << " ranks=" << c.options.ranks
+                 << " scheme=" << partition::to_string(c.options.scheme)
+                 << " seed=" << c.config.seed);
+    const auto result = generate(c.config, c.options);
+    ASSERT_EQ(result.targets, baseline::copy_model_targets(c.config));
+  }
+}
+
+TEST(PropertyFuzz, MessageConservationUnderRandomConfigs) {
+  rng::Xoshiro256pp rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    FuzzCase c = draw_case(rng);
+    c.options.gather_edges = false;
+    const auto result = generate(c.config, c.options);
+    Count req_out = 0, req_in = 0, res_out = 0, res_in = 0, edges = 0;
+    for (const auto& l : result.loads) {
+      req_out += l.requests_sent;
+      req_in += l.requests_received;
+      res_out += l.resolved_sent;
+      res_in += l.resolved_received;
+      edges += l.edges;
+    }
+    ASSERT_EQ(req_out, req_in) << "trial " << trial;
+    ASSERT_EQ(res_out, res_in) << "trial " << trial;
+    ASSERT_EQ(edges, expected_edge_count(c.config)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pagen::core

@@ -1,0 +1,103 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pagen::graph {
+namespace {
+
+TEST(Permutation, IsAPermutation) {
+  const auto perm = random_permutation(1000, 7);
+  std::set<NodeId> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Permutation, SeededAndDistinct) {
+  EXPECT_EQ(random_permutation(100, 1), random_permutation(100, 1));
+  EXPECT_NE(random_permutation(100, 1), random_permutation(100, 2));
+}
+
+TEST(Permutation, ActuallyShuffles) {
+  const auto perm = random_permutation(1000, 3);
+  Count fixed = 0;
+  for (NodeId i = 0; i < 1000; ++i) fixed += (perm[i] == i);
+  EXPECT_LT(fixed, 10u) << "expected ~1 fixed point";
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const auto perm = random_permutation(500, 9);
+  const auto inv = invert_permutation(perm);
+  for (NodeId i = 0; i < 500; ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+  }
+}
+
+TEST(Permutation, InvertRejectsNonPermutation) {
+  const std::vector<NodeId> bad{0, 0, 2};
+  EXPECT_THROW(invert_permutation(bad), CheckError);
+}
+
+TEST(Relabel, PreservesStructure) {
+  const PaConfig cfg{.n = 5000, .x = 3, .p = 0.5, .seed = 4};
+  const auto original = baseline::copy_model_general(cfg).edges;
+  const auto perm = random_permutation(cfg.n, 11);
+  const auto shuffled = relabel(original, perm);
+
+  ASSERT_EQ(shuffled.size(), original.size());
+  EXPECT_EQ(count_self_loops(shuffled), 0u);
+  EXPECT_EQ(count_duplicates(shuffled), 0u);
+  EXPECT_EQ(connected_components(shuffled, cfg.n), 1u);
+
+  // Degree multiset is invariant under relabeling.
+  auto deg_a = degree_sequence(original, cfg.n);
+  auto deg_b = degree_sequence(shuffled, cfg.n);
+  std::sort(deg_a.begin(), deg_a.end());
+  std::sort(deg_b.begin(), deg_b.end());
+  EXPECT_EQ(deg_a, deg_b);
+}
+
+TEST(Relabel, DestroysLabelDegreeCorrelation) {
+  // In raw PA output, label strongly anti-correlates with degree (old nodes
+  // are hubs). After shuffling, the correlation collapses.
+  const PaConfig cfg{.n = 20000, .x = 4, .p = 0.5, .seed = 8};
+  const auto original = baseline::copy_model_general(cfg).edges;
+  const auto perm = random_permutation(cfg.n, 13);
+  const auto shuffled = relabel(original, perm);
+
+  auto label_degree_corr = [&](const EdgeList& edges) {
+    const auto deg = degree_sequence(edges, cfg.n);
+    std::vector<double> labels, degrees;
+    for (NodeId v = 0; v < cfg.n; ++v) {
+      labels.push_back(static_cast<double>(v));
+      degrees.push_back(static_cast<double>(deg[v]));
+    }
+    const LinearFit fit = linear_fit(labels, degrees);
+    return fit.r_squared;
+  };
+  EXPECT_LT(label_degree_corr(shuffled), label_degree_corr(original) / 4);
+}
+
+TEST(Relabel, RoundTripThroughInverse) {
+  const EdgeList edges{{4, 0}, {3, 1}};
+  const auto perm = random_permutation(5, 21);
+  const auto there = relabel(edges, perm);
+  const auto back = relabel(there, invert_permutation(perm));
+  EXPECT_EQ(back, edges);
+}
+
+TEST(Relabel, RejectsOutOfDomainEndpoint) {
+  const EdgeList edges{{10, 0}};
+  const auto perm = random_permutation(5, 1);
+  EXPECT_THROW(relabel(edges, perm), CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::graph

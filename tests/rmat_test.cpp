@@ -1,0 +1,84 @@
+#include "baseline/rmat.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.h"
+#include "util/error.h"
+
+namespace pagen::baseline {
+namespace {
+
+TEST(Rmat, EdgeCountAndRange) {
+  const auto edges = rmat({.scale = 10, .edges = 5000, .seed = 1});
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, 1024u);
+    EXPECT_LT(e.v, 1024u);
+  }
+}
+
+TEST(Rmat, DeterministicInSeed) {
+  const RmatConfig cfg{.scale = 8, .edges = 1000, .seed = 5};
+  EXPECT_EQ(rmat(cfg), rmat(cfg));
+  RmatConfig other = cfg;
+  other.seed = 6;
+  EXPECT_NE(rmat(cfg), rmat(other));
+}
+
+TEST(Rmat, SimpleModeFilters) {
+  RmatConfig cfg{.scale = 6, .edges = 4000, .seed = 2};
+  cfg.simple = true;
+  const auto edges = rmat(cfg);
+  EXPECT_LT(edges.size(), 4000u) << "64-node graph at 4000 raw edges must "
+                                    "collapse under dedup";
+  EXPECT_EQ(graph::count_duplicates(edges), 0u);
+  EXPECT_EQ(graph::count_self_loops(edges), 0u);
+}
+
+TEST(Rmat, SkewedParametersConcentrateOnLowIds) {
+  // With a = 0.57 the mass concentrates in the top-left quadrant, i.e.
+  // low-id nodes accumulate degree (the Graph500 skew).
+  const auto edges = rmat({.scale = 12, .edges = 100000, .seed = 3});
+  const auto deg = graph::degree_sequence(edges, 4096);
+  Count low = 0, high = 0;
+  for (NodeId v = 0; v < 2048; ++v) low += deg[v];
+  for (NodeId v = 2048; v < 4096; ++v) high += deg[v];
+  EXPECT_GT(low, 2 * high);
+}
+
+TEST(Rmat, UniformParametersAreUnskewed) {
+  const auto edges = rmat({.scale = 12,
+                           .edges = 100000,
+                           .a = 0.25,
+                           .b = 0.25,
+                           .c = 0.25,
+                           .d = 0.25,
+                           .seed = 4});
+  const auto deg = graph::degree_sequence(edges, 4096);
+  Count low = 0, high = 0;
+  for (NodeId v = 0; v < 2048; ++v) low += deg[v];
+  for (NodeId v = 2048; v < 4096; ++v) high += deg[v];
+  EXPECT_NEAR(static_cast<double>(low) / static_cast<double>(high), 1.0, 0.05);
+}
+
+TEST(Rmat, HeavyTailAtGraph500Parameters) {
+  const auto edges = rmat({.scale = 14, .edges = 300000, .seed = 7});
+  const auto deg = graph::degree_sequence(edges, 1u << 14);
+  const Count hub = *std::max_element(deg.begin(), deg.end());
+  const double mean = 2.0 * 300000 / static_cast<double>(1u << 14);
+  EXPECT_GT(static_cast<double>(hub), 20.0 * mean)
+      << "R-MAT hubs dwarf the mean degree";
+}
+
+TEST(Rmat, ValidatesParameters) {
+  EXPECT_THROW(rmat({.scale = 0, .edges = 10, .seed = 1}), CheckError);
+  EXPECT_THROW(
+      rmat({.scale = 4, .edges = 10, .a = 0.5, .b = 0.5, .c = 0.5, .d = 0.5,
+            .seed = 1}),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace pagen::baseline

@@ -1,0 +1,150 @@
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/counter_rng.h"
+#include "rng/splitmix.h"
+#include "rng/xoshiro.h"
+#include "util/error.h"
+
+namespace pagen::rng {
+namespace {
+
+TEST(SplitMix, KnownReferenceSequence) {
+  // Reference values for seed 1234567 from the public-domain C reference.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ull);
+  EXPECT_EQ(sm.next(), 3203168211198807973ull);
+}
+
+TEST(SplitMix, MixIsDeterministicAndDispersive) {
+  EXPECT_EQ(splitmix64_mix(42), splitmix64_mix(42));
+  EXPECT_NE(splitmix64_mix(42), splitmix64_mix(43));
+  // Single-bit input flips should flip roughly half the output bits.
+  const std::uint64_t a = splitmix64_mix(0x1000);
+  const std::uint64_t b = splitmix64_mix(0x1001);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(CounterRng, PureFunctionOfCoordinates) {
+  const CounterRng rng(99);
+  const Stream s{1, 2, 3, 4};
+  EXPECT_EQ(rng.raw(s), rng.raw(s));
+  EXPECT_EQ(rng.raw(s, 7), rng.raw(s, 7));
+  EXPECT_NE(rng.raw(s, 0), rng.raw(s, 1));
+}
+
+TEST(CounterRng, DifferentSeedsDiffer) {
+  const CounterRng a(1), b(2);
+  const Stream s{1, 10, 0, 0};
+  EXPECT_NE(a.raw(s), b.raw(s));
+}
+
+TEST(CounterRng, CoordinatesAreNotConfused) {
+  // (a=1, b=2) must differ from (a=2, b=1): coordinates must not commute.
+  const CounterRng rng(5);
+  EXPECT_NE(rng.raw({0, 1, 2, 0}), rng.raw({0, 2, 1, 0}));
+  EXPECT_NE(rng.raw({1, 0, 0, 0}), rng.raw({0, 1, 0, 0}));
+}
+
+TEST(CounterRng, BelowRespectsBound) {
+  const CounterRng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound, {9, i, bound, 0}), bound);
+    }
+  }
+}
+
+TEST(CounterRng, BelowOneAlwaysZero) {
+  const CounterRng rng(7);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1, {2, i, 0, 0}), 0u);
+  }
+}
+
+TEST(CounterRng, RangeInclusive) {
+  const CounterRng rng(11);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.range(10, 12, {3, i, 0, 0});
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u) << "all three values should appear in 500 draws";
+}
+
+TEST(CounterRng, RangeRejectsInverted) {
+  const CounterRng rng(1);
+  EXPECT_THROW(rng.range(5, 4, {0, 0, 0, 0}), CheckError);
+}
+
+TEST(CounterRng, UniformityChiSquared) {
+  // 16 buckets, 16000 draws: chi2 with 15 dof, 99.9% critical value ~37.7.
+  const CounterRng rng(2024);
+  std::vector<double> obs(16, 0.0);
+  const int draws = 16000;
+  for (int i = 0; i < draws; ++i) {
+    obs[rng.below(16, {4, static_cast<std::uint64_t>(i), 0, 0})] += 1.0;
+  }
+  double chi2 = 0.0;
+  const double expected = draws / 16.0;
+  for (double o : obs) chi2 += (o - expected) * (o - expected) / expected;
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(CounterRng, UnitInHalfOpenInterval) {
+  const CounterRng rng(3);
+  double sum = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = rng.unit({5, static_cast<std::uint64_t>(i), 0, 0});
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(CounterRng, CoinMatchesProbability) {
+  const CounterRng rng(8);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int heads = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      heads += rng.coin(p, {6, static_cast<std::uint64_t>(i),
+                            static_cast<std::uint64_t>(p * 100), 0});
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / trials, p, 0.015) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro, ReproducibleForSeed) {
+  Xoshiro256pp a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, BelowUnbiasedSmoke) {
+  Xoshiro256pp rng(17);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Xoshiro, UnitBounds) {
+  Xoshiro256pp rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pagen::rng

@@ -1,0 +1,108 @@
+#include "core/scaling_model.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+RankLoad load_of(Count nodes, Count msgs_out, Count msgs_in) {
+  RankLoad l;
+  l.nodes = nodes;
+  l.requests_sent = msgs_out;
+  l.requests_received = msgs_in;
+  return l;
+}
+
+TEST(Calibrate, DividesTimeByNodes) {
+  const CostModel m = calibrate_cost_model(2.0, 1000000, 1.0);
+  EXPECT_DOUBLE_EQ(m.sec_per_node, 2e-6);
+  EXPECT_DOUBLE_EQ(m.sec_per_message, 2e-6);
+}
+
+TEST(Calibrate, MessageRatioApplied) {
+  const CostModel m = calibrate_cost_model(1.0, 1000000, 3.0);
+  EXPECT_DOUBLE_EQ(m.sec_per_message, 3.0 * m.sec_per_node);
+}
+
+TEST(Calibrate, RejectsDegenerateInput) {
+  EXPECT_THROW(calibrate_cost_model(0.0, 100), CheckError);
+  EXPECT_THROW(calibrate_cost_model(1.0, 0), CheckError);
+}
+
+TEST(ModeledTime, SingleRankHasNoCollectiveTerm) {
+  CostModel m;
+  m.sec_per_node = 1e-6;
+  m.sec_per_message = 1e-6;
+  m.sec_per_collective_hop = 1.0;  // would dominate if charged
+  const std::vector<RankLoad> loads{load_of(1000, 0, 0)};
+  EXPECT_NEAR(modeled_parallel_seconds(m, loads), 1e-3, 1e-12);
+}
+
+TEST(ModeledTime, DominatedBySlowestRank) {
+  CostModel m;
+  m.sec_per_node = 1e-6;
+  m.sec_per_message = 0.0;
+  m.sec_per_collective_hop = 0.0;
+  const std::vector<RankLoad> loads{load_of(100, 0, 0), load_of(5000, 0, 0),
+                                    load_of(100, 0, 0)};
+  EXPECT_NEAR(modeled_parallel_seconds(m, loads), 5e-3, 1e-12);
+}
+
+TEST(ModeledTime, MessagesChargeBothDirections) {
+  CostModel m;
+  m.sec_per_node = 0.0;
+  m.sec_per_message = 1e-3;
+  m.sec_per_collective_hop = 0.0;
+  const std::vector<RankLoad> loads{load_of(0, 4, 6)};
+  EXPECT_NEAR(modeled_parallel_seconds(m, loads), 1e-2, 1e-12);
+}
+
+TEST(ModeledTime, CollectiveTermLogarithmic) {
+  CostModel m;
+  m.sec_per_node = 0.0;
+  m.sec_per_message = 0.0;
+  m.sec_per_collective_hop = 1.0;
+  const std::vector<RankLoad> l8(8);
+  const std::vector<RankLoad> l9(9);
+  EXPECT_DOUBLE_EQ(modeled_parallel_seconds(m, l8), 3.0);
+  EXPECT_DOUBLE_EQ(modeled_parallel_seconds(m, l9), 4.0);
+}
+
+TEST(ModeledTime, PerfectBalanceScalesLinearly) {
+  CostModel m;
+  m.sec_per_node = 1e-6;
+  m.sec_per_message = 0.0;
+  m.sec_per_collective_hop = 0.0;
+  const std::vector<RankLoad> one{load_of(64000, 0, 0)};
+  std::vector<RankLoad> sixteen(16, load_of(4000, 0, 0));
+  const double t1 = modeled_parallel_seconds(m, one);
+  const double t16 = modeled_parallel_seconds(m, sixteen);
+  EXPECT_NEAR(t1 / t16, 16.0, 1e-9);
+}
+
+TEST(ModeledTime, SequentialReferenceSumsNodes) {
+  CostModel m;
+  m.sec_per_node = 1e-6;
+  const std::vector<RankLoad> loads{load_of(1000, 50, 50),
+                                    load_of(3000, 10, 10)};
+  EXPECT_NEAR(modeled_sequential_seconds(m, loads), 4e-3, 1e-12);
+}
+
+TEST(ModeledTime, ImbalanceHurtsSpeedup) {
+  // UCP-style skew: same total work, worse max => smaller modeled speedup.
+  CostModel m;
+  m.sec_per_node = 1e-6;
+  m.sec_per_message = 1e-6;
+  std::vector<RankLoad> balanced(8, load_of(1000, 100, 100));
+  std::vector<RankLoad> skewed(8, load_of(1000, 100, 10));
+  skewed[0] = load_of(1000, 100, 820);  // rank 0 swamped by requests
+  EXPECT_LT(modeled_parallel_seconds(m, balanced),
+            modeled_parallel_seconds(m, skewed));
+}
+
+}  // namespace
+}  // namespace pagen::core

@@ -1,0 +1,62 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace pagen {
+namespace {
+
+Cli make(std::vector<const char*> args, std::vector<std::string> allowed) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data(), std::move(allowed));
+}
+
+TEST(Cli, ParsesKeyValues) {
+  const Cli cli = make({"--n=1000", "--p=0.25", "--scheme=RRP"},
+                       {"n", "p", "scheme"});
+  EXPECT_EQ(cli.get_u64("n", 0), 1000u);
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.25);
+  EXPECT_EQ(cli.get_str("scheme", ""), "RRP");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make({}, {"n"});
+  EXPECT_EQ(cli.get_u64("n", 42), 42u);
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Cli cli = make({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, ExplicitBooleans) {
+  const Cli cli = make({"--a=false", "--b=1", "--c=yes"}, {"a", "b", "c"});
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+}
+
+TEST(Cli, RejectsUnknownKey) {
+  EXPECT_THROW(make({"--oops=1"}, {"n"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsPositional) {
+  EXPECT_THROW(make({"positional"}, {"n"}), std::invalid_argument);
+}
+
+TEST(Cli, HelpRecognized) {
+  const Cli cli = make({"--help"}, {"n"});
+  EXPECT_TRUE(cli.help());
+}
+
+TEST(Cli, UsageListsKeys) {
+  const Cli cli = make({}, {"n", "x"});
+  const std::string u = cli.usage("prog");
+  EXPECT_NE(u.find("--n=VALUE"), std::string::npos);
+  EXPECT_NE(u.find("--x=VALUE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pagen

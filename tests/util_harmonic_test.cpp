@@ -1,0 +1,66 @@
+#include "util/harmonic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pagen {
+namespace {
+
+TEST(Harmonic, SmallValuesExact) {
+  const Harmonic h;
+  EXPECT_DOUBLE_EQ(h(0), 0.0);
+  EXPECT_DOUBLE_EQ(h(1), 1.0);
+  EXPECT_DOUBLE_EQ(h(2), 1.5);
+  EXPECT_DOUBLE_EQ(h(3), 1.5 + 1.0 / 3.0);
+  EXPECT_NEAR(h(10), 2.9289682539682538, 1e-15);
+}
+
+TEST(Harmonic, MatchesDirectSumAtTableBoundary) {
+  const Harmonic h(128);
+  double direct = 0.0;
+  for (int k = 1; k <= 500; ++k) {
+    direct += 1.0 / k;
+    EXPECT_NEAR(h(static_cast<std::uint64_t>(k)), direct, 1e-9)
+        << "k=" << k << " crosses the table/asymptotic boundary";
+  }
+}
+
+TEST(Harmonic, AsymptoticRegimeAccuracy) {
+  const Harmonic h(16);
+  // H_1e6 known to high precision.
+  EXPECT_NEAR(h(1000000), 14.392726722865723, 1e-9);
+}
+
+TEST(Harmonic, MonotoneIncreasing) {
+  const Harmonic h;
+  double prev = h(1);
+  for (std::uint64_t k : {2ull, 10ull, 100ull, 1000ull, 100000ull, 10000000ull}) {
+    EXPECT_GT(h(k), prev);
+    prev = h(k);
+  }
+}
+
+TEST(Harmonic, PrefixSumIdentity) {
+  // sum_{i<=k} H_i == (k+1) H_{k+1} - (k+1)  (Concrete Math Eq. 2.36).
+  const Harmonic h;
+  for (std::uint64_t k : {1ull, 5ull, 50ull, 500ull}) {
+    double direct = 0.0;
+    for (std::uint64_t i = 0; i <= k; ++i) direct += h(i);
+    EXPECT_NEAR(h.prefix_sum(k), direct, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Harmonic, GrowsLikeLogN) {
+  const Harmonic h;
+  // H_{10n} - H_n -> ln 10.
+  EXPECT_NEAR(h(10000000) - h(1000000), std::log(10.0), 1e-6);
+}
+
+TEST(Harmonic, FreeFunctionMatchesClass) {
+  const Harmonic h;
+  EXPECT_DOUBLE_EQ(harmonic(12345), h(12345));
+}
+
+}  // namespace
+}  // namespace pagen

@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pagen {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+}
+
+TEST(Imbalance, PerfectlyBalancedIsOne) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(imbalance(xs), 1.0);
+}
+
+TEST(Imbalance, SkewDetected) {
+  const std::vector<double> xs{1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance(xs), 2.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 0.5 * i);
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.slope, -0.5, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasLowerR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2 == 0) ? 5.0 : -5.0));
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.1);
+  EXPECT_LT(f.r_squared, 1.0);
+  EXPECT_GT(f.r_squared, 0.9);
+}
+
+TEST(ChiSquared, ExactMatchIsZero) {
+  const std::vector<double> obs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_squared(obs, obs), 0.0);
+}
+
+TEST(ChiSquared, PoolsSmallExpectedBins) {
+  // Two bins of expected 3 pool into one bin of expected 6.
+  const std::vector<double> obs{4.0, 4.0};
+  const std::vector<double> expd{3.0, 3.0};
+  EXPECT_DOUBLE_EQ(chi_squared(obs, expd, 5.0), 4.0 / 6.0);
+}
+
+TEST(ChiSquared, DetectsDeviation) {
+  const std::vector<double> obs{50.0, 50.0};
+  const std::vector<double> expd{90.0, 10.0};
+  EXPECT_GT(chi_squared(obs, expd), 100.0);
+}
+
+}  // namespace
+}  // namespace pagen

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pagen {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"P", "speedup"});
+  t.add_row({"16", "14.9"});
+  t.add_row({"768", "590.1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("  P  speedup"), std::string::npos);
+  EXPECT_NE(out.find("768"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(2.0, 0), "2");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(fmt_e(12345.0, 2), "1.23e+04");
+}
+
+TEST(Format, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(50000000000ull), "50,000,000,000");
+}
+
+}  // namespace
+}  // namespace pagen

@@ -1,0 +1,98 @@
+#include "graph/varint_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baseline/copy_model_seq.h"
+#include "graph/io.h"
+#include "util/error.h"
+
+namespace pagen::graph {
+namespace {
+
+TEST(Varint, EncodeDecodeBoundaries) {
+  std::vector<std::uint8_t> buf;
+  const std::vector<std::uint64_t> values{
+      0, 1, 127, 128, 129, 16383, 16384, 1ull << 32, ~0ull};
+  for (auto v : values) put_varint(buf, v);
+  std::size_t pos = 0;
+  for (auto v : values) EXPECT_EQ(get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, SingleByteForSmallValues) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 3u);  // 1 + 2
+}
+
+TEST(Varint, TruncationDetected) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1u << 20);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), CheckError);
+}
+
+TEST(VarintEdges, RoundTripNormalizes) {
+  const EdgeList edges{{5, 2}, {1, 0}, {9, 5}, {2, 5}};
+  std::stringstream ss;
+  write_varint_edges(ss, edges);
+  const EdgeList back = read_varint_edges(ss);
+  EdgeList expected = edges;
+  normalize(expected);
+  EXPECT_EQ(back, expected);
+}
+
+TEST(VarintEdges, EmptyList) {
+  std::stringstream ss;
+  write_varint_edges(ss, {});
+  EXPECT_TRUE(read_varint_edges(ss).empty());
+}
+
+TEST(VarintEdges, DuplicatesSurviveRoundTrip) {
+  const EdgeList edges{{1, 0}, {1, 0}, {1, 0}};
+  std::stringstream ss;
+  write_varint_edges(ss, edges);
+  EXPECT_EQ(read_varint_edges(ss).size(), 3u);
+}
+
+TEST(VarintEdges, BadMagicRejected) {
+  std::stringstream ss("WRONGMAGIC........");
+  EXPECT_THROW(read_varint_edges(ss), CheckError);
+}
+
+TEST(VarintEdges, CompressionBeatsRawBinaryOnPaGraphs) {
+  const PaConfig cfg{.n = 50000, .x = 4, .p = 0.5, .seed = 3};
+  const auto result = baseline::copy_model_general(cfg);
+
+  std::stringstream raw, compressed;
+  write_binary(raw, result.edges);
+  write_varint_edges(compressed, result.edges);
+  const auto raw_size = raw.str().size();
+  const auto varint_size = compressed.str().size();
+  EXPECT_LT(varint_size * 3, raw_size)
+      << "expected >= 3x compression, got " << raw_size << " -> "
+      << varint_size;
+
+  // And the payload is intact.
+  auto expected = result.edges;
+  normalize(expected);
+  EXPECT_EQ(read_varint_edges(compressed), expected);
+}
+
+TEST(VarintEdges, FileRoundTrip) {
+  const EdgeList edges{{3, 1}, {4, 1}, {4, 2}};
+  const std::string path = "/tmp/pagen_varint_test.bin";
+  save_varint(path, edges);
+  EdgeList expected = edges;
+  normalize(expected);  // the format stores canonical (min, max) order
+  EXPECT_EQ(load_varint(path), expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pagen::graph
