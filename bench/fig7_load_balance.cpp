@@ -4,12 +4,20 @@
 // Paper setting: n = 1e8, x = 10, P = 160.  Default here: n = 4e5, x = 10,
 // P = 160 (same rank count as the paper; the distributions' shapes are size
 // independent).
+//
+// With --metrics-out=m.json / --trace-out=t.json each scheme's run is
+// observed through src/obs/ and exported with the scheme spliced into the
+// file name (m.ucp.json, m.lcp.json, m.rrp.json) — the same metrics
+// pipeline quickstart uses, so Fig. 7 numbers can be diffed across runs
+// instead of scraped from stdout. See docs/observability.md.
 #include <array>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "analysis/load_balance.h"
 #include "core/generate.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -45,11 +53,23 @@ void print_section(const char* title, LoadMetric metric,
   s.print(std::cout);
 }
 
+/// "m.json" + "rrp" -> "m.rrp.json" (scheme spliced before the extension).
+std::string with_scheme(const std::string& path, const char* scheme) {
+  if (path.empty()) return path;
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    return path + "." + scheme;
+  }
+  return path.substr(0, dot) + "." + scheme + path.substr(dot);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pagen;
-  const Cli cli(argc, argv, {"n", "x", "ranks", "seed", "step"});
+  std::vector<std::string> keys{"n", "x", "ranks", "seed", "step"};
+  for (const std::string& k : obs::cli_keys()) keys.push_back(k);
+  const Cli cli(argc, argv, keys);
   if (cli.help()) {
     std::cout << cli.usage("fig7_load_balance") << "\n";
     return 0;
@@ -60,6 +80,7 @@ int main(int argc, char** argv) {
   cfg.seed = cli.get_u64("seed", 7);
   const int ranks = static_cast<int>(cli.get_u64("ranks", 160));
   const int step = static_cast<int>(cli.get_u64("step", 16));
+  const obs::Config obs_cfg = obs::config_from_cli(cli);
 
   std::cout << "=== Figure 7: node and message distribution across ranks ===\n"
             << "n=" << fmt_count(cfg.n) << " x=" << cfg.x << " P=" << ranks
@@ -69,12 +90,30 @@ int main(int argc, char** argv) {
   const partition::Scheme schemes[3] = {partition::Scheme::kUcp,
                                         partition::Scheme::kLcp,
                                         partition::Scheme::kRrp};
+  const char* scheme_names[3] = {"ucp", "lcp", "rrp"};
   for (int i = 0; i < 3; ++i) {
     core::ParallelOptions opt;
     opt.ranks = ranks;
     opt.scheme = schemes[i];
     opt.gather_edges = false;
+
+    std::unique_ptr<obs::Session> session;
+    if (obs_cfg.enabled) {
+      obs::Config per_scheme = obs_cfg;
+      per_scheme.trace_out = with_scheme(obs_cfg.trace_out, scheme_names[i]);
+      per_scheme.metrics_out =
+          with_scheme(obs_cfg.metrics_out, scheme_names[i]);
+      session = std::make_unique<obs::Session>(ranks, per_scheme);
+      opt.obs = session.get();
+    }
+
     loads[static_cast<std::size_t>(i)] = core::generate(cfg, opt).loads;
+
+    if (session) {
+      for (const std::string& file : session->export_files()) {
+        std::cout << "wrote " << file << "\n";
+      }
+    }
   }
 
   print_section("Fig 7(a): nodes per processor", LoadMetric::kNodes, loads,
@@ -85,6 +124,21 @@ int main(int argc, char** argv) {
                 LoadMetric::kRequestsReceived, loads, ranks, step);
   print_section("Fig 7(d): total load (nodes + messages)",
                 LoadMetric::kTotalLoad, loads, ranks, step);
+
+  // World-wide totals, reduced the one canonical way (core::
+  // merge_across_ranks: volumes sum, max_queue_depth takes the max).
+  std::cout << "\n--- totals (merged across ranks) ---\n";
+  Table totals({"scheme", "nodes", "req_out", "req_in", "total_load",
+                "max_queue_depth"});
+  const char* names[3] = {"UCP", "LCP", "RRP"};
+  for (int i = 0; i < 3; ++i) {
+    const core::RankLoad t =
+        core::merge_across_ranks(loads[static_cast<std::size_t>(i)]);
+    totals.add_row({names[i], fmt_count(t.nodes), fmt_count(t.requests_sent),
+                    fmt_count(t.requests_received), fmt_count(t.total_load()),
+                    fmt_count(t.max_queue_depth)});
+  }
+  totals.print(std::cout);
 
   std::cout
       << "\npaper shape: (a) UCP/RRP flat, LCP linearly increasing;\n"

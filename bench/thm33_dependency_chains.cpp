@@ -4,26 +4,37 @@
 // is <= 1/p; L_max = O(log n) w.h.p. (the proof shows Pr{L >= 5 log n} <=
 // 1/n^3). This bench prints the measured average and maximum chain lengths
 // against those bounds across n and p.
-#include <algorithm>
+//
+// Chain lengths are accumulated into obs::Histogram instruments (one per
+// (n, p) cell, named "chain.length.n<n>.p<p>") and the table is printed
+// from those — the same metrics pipeline the generators use. With
+// --metrics-out=FILE the full histograms (count/sum/max + power-of-two
+// buckets) are exported as metrics JSON. See docs/observability.md.
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "baseline/chain_tracer.h"
+#include "obs/metrics.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace pagen;
-  const Cli cli(argc, argv, {"seed", "nmax"});
+  const Cli cli(argc, argv, {"seed", "nmax", "metrics-out"});
   if (cli.help()) {
     std::cout << cli.usage("thm33_dependency_chains") << "\n";
     return 0;
   }
   const std::uint64_t seed = cli.get_u64("seed", 33);
   const NodeId nmax = cli.get_u64("nmax", 1000000);
+  const std::string metrics_out = cli.get_str("metrics-out", "");
 
   std::cout << "=== Theorem 3.3: dependency chain lengths ===\n\n";
 
+  obs::MetricsRegistry reg;
   Table t({"n", "p", "avg_L", "1/p", "ln(n)", "max_L", "5*ln(n)"});
   for (NodeId n : {NodeId{1000}, NodeId{10000}, NodeId{100000},
                    NodeId{1000000}}) {
@@ -32,20 +43,24 @@ int main(int argc, char** argv) {
       const PaConfig cfg{.n = n, .x = 1, .p = p, .seed = seed};
       const baseline::ChainTrace trace(cfg);
       const auto dep = trace.dependency_lengths();
-      double avg = 0.0;
-      Count max_len = 0;
-      for (NodeId v = 2; v < n; ++v) {
-        avg += static_cast<double>(dep[v]);
-        max_len = std::max(max_len, dep[v]);
-      }
-      avg /= static_cast<double>(n - 2);
-      t.add_row({fmt_count(n), fmt_f(p, 1), fmt_f(avg, 2), fmt_f(1.0 / p, 2),
+      obs::Histogram& h = reg.histogram("chain.length.n" + std::to_string(n) +
+                                        ".p" + fmt_f(p, 1));
+      for (NodeId v = 2; v < n; ++v) h.observe(dep[v]);
+      t.add_row({fmt_count(n), fmt_f(p, 1), fmt_f(h.mean(), 2),
+                 fmt_f(1.0 / p, 2),
                  fmt_f(std::log(static_cast<double>(n)), 2),
-                 std::to_string(max_len),
+                 std::to_string(h.max()),
                  fmt_f(5.0 * std::log(static_cast<double>(n)), 1)});
     }
   }
   t.print(std::cout);
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    PAGEN_CHECK_MSG(os.good(), "cannot open metrics output " << metrics_out);
+    obs::write_metrics_json(os, {&reg});
+    std::cout << "\nwrote " << metrics_out << "\n";
+  }
 
   std::cout << "\npaper shape: avg_L stays below both 1/p and ln(n); max_L\n"
             << "grows logarithmically in n and stays below the 5 ln(n)\n"

@@ -2,18 +2,30 @@
 // preferential-attachment algorithm and look at it.
 //
 //   ./quickstart [--n=...] [--x=...] [--ranks=...] [--seed=...]
+//                [--trace-out=t.json] [--metrics-out=m.json]
+//                [--trace-sample=N]
+//
+// With --trace-out the run emits a Chrome trace-event JSON (open it at
+// https://ui.perfetto.dev — one track per rank with generate/drain/
+// collective spans); with --metrics-out a structured metrics JSON (per-rank
+// node/message counters, mailbox-depth gauge, chain-latency histogram).
+// See docs/observability.md.
 #include <iostream>
+#include <optional>
 
 #include "analysis/powerlaw_fit.h"
 #include "core/generate.h"
 #include "graph/csr.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace pagen;
-  const Cli cli(argc, argv, {"n", "x", "ranks", "seed"});
+  std::vector<std::string> keys{"n", "x", "ranks", "seed"};
+  for (const std::string& k : obs::cli_keys()) keys.push_back(k);
+  const Cli cli(argc, argv, keys);
   if (cli.help()) {
     std::cout << cli.usage("quickstart") << "\n";
     return 0;
@@ -26,10 +38,18 @@ int main(int argc, char** argv) {
   config.x = cli.get_u64("x", 4);
   config.seed = cli.get_u64("seed", 1);
 
-  // 2. Describe the run: how many ranks, which partitioning scheme.
+  // 2. Describe the run: how many ranks, which partitioning scheme, and
+  //    whether to observe it (tracing/metrics are off unless asked for).
   core::ParallelOptions options;
   options.ranks = static_cast<int>(cli.get_u64("ranks", 4));
   options.scheme = partition::Scheme::kRrp;
+
+  const obs::Config obs_cfg = obs::config_from_cli(cli);
+  std::optional<obs::Session> session;
+  if (obs_cfg.enabled) {
+    session.emplace(options.ranks, obs_cfg);
+    options.obs = &*session;
+  }
 
   // 3. Generate.
   Timer timer;
@@ -48,5 +68,12 @@ int main(int argc, char** argv) {
   const auto fit = analysis::fit_gamma_mle(degrees, config.x);
   std::cout << "power-law exponent gamma ≈ " << fmt_f(fit.gamma, 2)
             << " (paper reports 2.7 for x = 4 at n = 1e9)\n";
+
+  // 5. Export observation artifacts, if any were requested.
+  if (session) {
+    for (const std::string& file : session->export_files()) {
+      std::cout << "wrote " << file << "\n";
+    }
+  }
   return 0;
 }

@@ -9,23 +9,30 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/types.h"
 
 namespace pagen::core {
 
+/// Cross-rank reduction semantics (operator+= / merge_across_ranks): every
+/// field is a volume and sums, EXCEPT max_queue_depth, which is a
+/// high-water mark and takes the max — "total queue depth" across ranks is
+/// not a quantity the paper (or anyone) plots, but "deepest queue anywhere"
+/// bounds the Theorem 3.3 wait chains.
 struct RankLoad {
-  Count nodes = 0;              ///< nodes assigned to the rank (type A work)
-  Count requests_sent = 0;      ///< outgoing <request> messages (type B)
-  Count requests_received = 0;  ///< incoming <request> messages (type C)
-  Count resolved_sent = 0;      ///< outgoing <resolved> messages
-  Count resolved_received = 0;  ///< incoming <resolved> messages
-  Count queued = 0;             ///< requests parked because F_k was NILL
-  Count local_waits = 0;        ///< same-rank waits (no message needed)
-  Count retries = 0;            ///< duplicate-edge retries (x >= 1 only)
-  Count edges = 0;              ///< edges emitted by this rank
-  Count max_queue_depth = 0;    ///< deepest wait queue Q_k(,l) observed
+  Count nodes = 0;              ///< [sum] nodes assigned to the rank (type A work)
+  Count requests_sent = 0;      ///< [sum] outgoing <request> messages (type B)
+  Count requests_received = 0;  ///< [sum] incoming <request> messages (type C)
+  Count resolved_sent = 0;      ///< [sum] outgoing <resolved> messages
+  Count resolved_received = 0;  ///< [sum] incoming <resolved> messages
+  Count queued = 0;             ///< [sum] requests parked because F_k was NILL
+  Count local_waits = 0;        ///< [sum] same-rank waits (no message needed)
+  Count retries = 0;            ///< [sum] duplicate-edge retries (x >= 1 only)
+  Count edges = 0;              ///< [sum] edges emitted by this rank
+  Count max_queue_depth = 0;    ///< [max] deepest wait queue Q_k(,l) observed
 
   /// All algorithm-level messages this rank touched.
   [[nodiscard]] Count total_messages() const {
@@ -52,5 +59,33 @@ struct RankLoad {
 };
 
 using LoadVector = std::vector<RankLoad>;
+
+/// Reduce per-rank loads into one world-wide RankLoad, with the per-field
+/// semantics documented on RankLoad (sums + max_queue_depth as max). The
+/// one way benches and exporters compute Fig. 7 totals.
+[[nodiscard]] inline RankLoad merge_across_ranks(
+    std::span<const RankLoad> loads) {
+  RankLoad total;
+  for (const RankLoad& l : loads) total += l;
+  return total;
+}
+
+/// Fold one rank's load counters into its metrics registry under "pa.*".
+/// max_queue_depth is exported as a gauge so the cross-rank merge in the
+/// JSON "totals" takes its max, mirroring operator+=.
+inline void record_metrics(obs::MetricsRegistry& reg, const RankLoad& l) {
+  reg.counter("pa.nodes").add(l.nodes);
+  reg.counter("pa.requests_sent").add(l.requests_sent);
+  reg.counter("pa.requests_received").add(l.requests_received);
+  reg.counter("pa.resolved_sent").add(l.resolved_sent);
+  reg.counter("pa.resolved_received").add(l.resolved_received);
+  reg.counter("pa.queued").add(l.queued);
+  reg.counter("pa.local_waits").add(l.local_waits);
+  reg.counter("pa.retries").add(l.retries);
+  reg.counter("pa.edges").add(l.edges);
+  reg.counter("pa.total_load").add(l.total_load());
+  reg.gauge("pa.max_queue_depth")
+      .set(static_cast<std::int64_t>(l.max_queue_depth));
+}
 
 }  // namespace pagen::core

@@ -8,6 +8,10 @@
 #include "graph/edge_list.h"
 #include "partition/partition.h"
 
+namespace pagen::obs {
+class Session;
+}
+
 namespace pagen::core {
 
 struct ParallelOptions {
@@ -43,6 +47,14 @@ struct ParallelOptions {
   /// — the input format of sharded persistence (graph/sharded_io.h) and of
   /// the distributed analytics passes (core/distributed_degree.h).
   bool keep_shards = false;
+
+  /// Observability session (src/obs/). Non-owning; must have at least
+  /// `ranks` rank observers and outlive the generate call. When set, every
+  /// rank emits phase spans (generate / drain / termination), runtime
+  /// events, and metrics into session->rank(r), and the driver thread's
+  /// partition construction is traced on the session's driver track. Null
+  /// (the default) keeps the uninstrumented hot path.
+  obs::Session* obs = nullptr;
 
   /// Streaming consumption: invoked on the generating rank's thread for
   /// every emitted edge, in emission order. Enables "generate on the fly

@@ -7,7 +7,9 @@
 #include "mps/engine.h"
 #include "mps/send_buffer.h"
 #include "mps/termination.h"
+#include "obs/session.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace pagen::core {
 namespace {
@@ -32,34 +34,51 @@ class RankX1 {
         waiters_(f_.size()),
         req_buf_(comm, kTagRequest, options.buffer_capacity),
         res_buf_(comm, kTagResolved, options.buffer_capacity),
-        done_(comm, kTagDone, kTagStop) {
+        done_(comm, kTagDone, kTagStop),
+        ob_(comm.obs()) {
     load_.nodes = f_.size();
     edges_.reserve(f_.size());
+    if (ob_ != nullptr) {
+      wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
+      chain_hist_ = &ob_->metrics().histogram("pa.chain_latency_ns");
+      mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
+      pending_since_.assign(f_.size(), -1);
+    }
   }
 
   void run() {
     comm_.barrier();  // common start line, as mpirun would provide
 
-    // Phase 1: process own nodes in ascending label order, pumping messages
-    // between batches so requests from other ranks are never starved.
-    const Count my_nodes = part_.part_size(comm_.rank());
-    for (Count idx = 0; idx < my_nodes; ++idx) {
-      process_own_node(part_.node_at(comm_.rank(), idx));
-      if ((idx + 1) % options_.node_batch == 0) pump(false);
+    {
+      // Phase 1: process own nodes in ascending label order, pumping
+      // messages between batches so requests from other ranks are never
+      // starved.
+      const auto sp = obs::span(ob_, "generate");
+      const Count my_nodes = part_.part_size(comm_.rank());
+      for (Count idx = 0; idx < my_nodes; ++idx) {
+        process_own_node(part_.node_at(comm_.rank(), idx));
+        if ((idx + 1) % options_.node_batch == 0) pump(false);
+      }
+      req_buf_.flush_all();
     }
-    req_buf_.flush_all();
 
-    // Phase 2: serve and wait until every local F is resolved.
-    while (unresolved_ > 0) pump(true);
+    {
+      // Phase 2: serve and wait until every local F is resolved.
+      const auto sp = obs::span(ob_, "drain");
+      while (unresolved_ > 0) pump(true);
+    }
 
-    // Phase 3: local completion. All responses we owe so far are flushed
-    // before the done notice; afterwards we keep serving requests (always
-    // flushing responses) until the global stop arrives.
-    res_buf_.flush_all();
-    PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
-    done_.notify_local_done();
-    while (!done_.stopped()) pump(true);
-    res_buf_.flush_all();
+    {
+      // Phase 3: local completion. All responses we owe so far are flushed
+      // before the done notice; afterwards we keep serving requests (always
+      // flushing responses) until the global stop arrives.
+      const auto sp = obs::span(ob_, "termination");
+      res_buf_.flush_all();
+      PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
+      done_.notify_local_done();
+      while (!done_.stopped()) pump(true);
+      res_buf_.flush_all();
+    }
 
     comm_.barrier();  // nobody tears down while peers might still poll
   }
@@ -95,6 +114,9 @@ class RankX1 {
     } else {
       req_buf_.add(owner, {t, k});
       ++load_.requests_sent;
+      if (ob_ != nullptr) {
+        pending_since_[part_.local_index(t)] = now_ns();
+      }
     }
   }
 
@@ -135,6 +157,15 @@ class RankX1 {
 
   void handle_resolved(const ResolvedX1& res) {
     ++load_.resolved_received;
+    if (ob_ != nullptr) {
+      // Chain-resolution latency: time from our <request> leaving to its
+      // <resolved> arriving — the wait Theorem 3.3 bounds by O(log n) hops.
+      std::int64_t& since = pending_since_[part_.local_index(res.t)];
+      if (since >= 0) {
+        chain_hist_->observe(static_cast<std::uint64_t>(now_ns() - since));
+        since = -1;
+      }
+    }
     resolve(res.t, res.v);  // Lines 16-19 (cascade happens inside)
   }
 
@@ -144,6 +175,13 @@ class RankX1 {
   /// option disables it; they are always flushed once this rank is done.
   void pump(bool blocking) {
     inbox_.clear();
+    if (ob_ != nullptr) {
+      const auto depth = static_cast<std::int64_t>(comm_.pending());
+      mailbox_gauge_->set(depth);
+      if (ob_->trace().sample_tick()) {
+        ob_->trace().counter("mailbox_depth", depth);
+      }
+    }
     const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
                               : comm_.poll(inbox_);
     if (!got) return;
@@ -166,6 +204,7 @@ class RankX1 {
 
   void note_queue_depth(std::size_t depth) {
     load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
+    if (wait_depth_hist_ != nullptr) wait_depth_hist_->observe(depth);
   }
 
   void emit_edge(const graph::Edge& e) {
@@ -195,6 +234,13 @@ class RankX1 {
   mps::DoneDetector done_;
   RankLoad load_;
   Count unresolved_ = 0;
+
+  // Observability (all null / empty when observation is off).
+  obs::RankObserver* ob_;
+  obs::Histogram* wait_depth_hist_ = nullptr;
+  obs::Histogram* chain_hist_ = nullptr;
+  obs::Gauge* mailbox_gauge_ = nullptr;
+  std::vector<std::int64_t> pending_since_;  ///< request departure, by local idx
 };
 
 }  // namespace
@@ -208,12 +254,16 @@ ParallelResult generate_pa_x1(const PaConfig& config,
   PAGEN_CHECK_MSG(static_cast<NodeId>(options.ranks) <= config.n,
                   "more ranks than nodes");
 
+  obs::RankObserver* drv =
+      options.obs != nullptr ? &options.obs->driver() : nullptr;
+
   std::shared_ptr<const partition::Partition> part = options.custom_partition;
   if (part) {
     PAGEN_CHECK_MSG(part->num_nodes() == config.n &&
                         part->num_parts() == options.ranks,
                     "custom partition does not match (n, ranks)");
   } else {
+    const auto sp = obs::span(drv, "partition_build");
     part = partition::make_partition(options.scheme, config.n, options.ranks);
   }
 
@@ -222,18 +272,26 @@ ParallelResult generate_pa_x1(const PaConfig& config,
   std::vector<std::vector<NodeId>> target_slots(nranks);
   LoadVector load_slots(nranks);
 
-  const mps::RunResult run = mps::run_ranks(options.ranks, [&](mps::Comm& comm) {
-    RankX1 rank(config, options, *part, comm);
-    rank.run();
-    const auto slot = static_cast<std::size_t>(comm.rank());
-    load_slots[slot] = rank.load();
-    if (options.gather_edges || options.keep_shards) {
-      edge_slots[slot] = rank.take_edges();
-    }
-    if (options.gather_edges) {
-      target_slots[slot] = rank.take_targets();
-    }
-  });
+  mps::RunResult run;
+  {
+    const auto world_span = obs::span(drv, "run_ranks");
+    run = mps::run_ranks(
+        options.ranks,
+        [&](mps::Comm& comm) {
+          RankX1 rank(config, options, *part, comm);
+          rank.run();
+          const auto slot = static_cast<std::size_t>(comm.rank());
+          load_slots[slot] = rank.load();
+          if (auto* ob = comm.obs()) record_metrics(ob->metrics(), rank.load());
+          if (options.gather_edges || options.keep_shards) {
+            edge_slots[slot] = rank.take_edges();
+          }
+          if (options.gather_edges) {
+            target_slots[slot] = rank.take_targets();
+          }
+        },
+        options.obs);
+  }
 
   ParallelResult result;
   result.loads = std::move(load_slots);

@@ -7,7 +7,9 @@
 #include "mps/engine.h"
 #include "mps/send_buffer.h"
 #include "mps/termination.h"
+#include "obs/session.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace pagen::core {
 namespace {
@@ -36,27 +38,43 @@ class RankXk {
         waiters_(slots_),
         req_buf_(comm, kTagRequest, options.buffer_capacity),
         res_buf_(comm, kTagResolved, options.buffer_capacity),
-        done_(comm, kTagDone, kTagStop) {
+        done_(comm, kTagDone, kTagStop),
+        ob_(comm.obs()) {
     load_.nodes = part.part_size(comm.rank());
+    if (ob_ != nullptr) {
+      wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
+      chain_hist_ = &ob_->metrics().histogram("pa.chain_latency_ns");
+      mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
+      pending_since_.assign(slots_, -1);
+    }
   }
 
   void run() {
     comm_.barrier();
 
-    const Count my_nodes = part_.part_size(comm_.rank());
-    for (Count idx = 0; idx < my_nodes; ++idx) {
-      process_own_node(part_.node_at(comm_.rank(), idx));
-      if ((idx + 1) % options_.node_batch == 0) pump(false);
+    {
+      const auto sp = obs::span(ob_, "generate");
+      const Count my_nodes = part_.part_size(comm_.rank());
+      for (Count idx = 0; idx < my_nodes; ++idx) {
+        process_own_node(part_.node_at(comm_.rank(), idx));
+        if ((idx + 1) % options_.node_batch == 0) pump(false);
+      }
+      req_buf_.flush_all();
     }
-    req_buf_.flush_all();
 
-    while (unresolved_ > 0) pump(true);
+    {
+      const auto sp = obs::span(ob_, "drain");
+      while (unresolved_ > 0) pump(true);
+    }
 
-    res_buf_.flush_all();
-    PAGEN_CHECK(res_buf_.empty());
-    done_.notify_local_done();
-    while (!done_.stopped()) pump(true);
-    res_buf_.flush_all();
+    {
+      const auto sp = obs::span(ob_, "termination");
+      res_buf_.flush_all();
+      PAGEN_CHECK(res_buf_.empty());
+      done_.notify_local_done();
+      while (!done_.stopped()) pump(true);
+      res_buf_.flush_all();
+    }
 
     comm_.barrier();
   }
@@ -122,6 +140,7 @@ class RankXk {
       if (owner != comm_.rank()) {
         req_buf_.add(owner, {t, k, e, l});  // Line 14
         ++load_.requests_sent;
+        if (ob_ != nullptr) pending_since_[s] = now_ns();
         return;
       }
       const Count ks = slot(k, l);
@@ -193,6 +212,13 @@ class RankXk {
 
   void pump(bool blocking) {
     inbox_.clear();
+    if (ob_ != nullptr) {
+      const auto depth = static_cast<std::int64_t>(comm_.pending());
+      mailbox_gauge_->set(depth);
+      if (ob_->trace().sample_tick()) {
+        ob_->trace().counter("mailbox_depth", depth);
+      }
+    }
     const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
                               : comm_.poll(inbox_);
     if (!got) return;
@@ -205,6 +231,16 @@ class RankXk {
         mps::for_each_packed<ResolvedXk>(
             env.payload, [&](const ResolvedXk& r) {
               ++load_.resolved_received;
+              if (ob_ != nullptr) {
+                // Chain-resolution latency: request departure → resolution
+                // arrival for this slot (re-stamped on duplicate retries).
+                std::int64_t& since = pending_since_[slot(r.t, r.e)];
+                if (since >= 0) {
+                  chain_hist_->observe(
+                      static_cast<std::uint64_t>(now_ns() - since));
+                  since = -1;
+                }
+              }
               on_resolved(r.t, r.e, r.v);
             });
       } else {
@@ -221,6 +257,7 @@ class RankXk {
 
   void note_queue_depth(std::size_t depth) {
     load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
+    if (wait_depth_hist_ != nullptr) wait_depth_hist_->observe(depth);
   }
 
   void emit_edge(const graph::Edge& e) {
@@ -255,6 +292,13 @@ class RankXk {
   mps::DoneDetector done_;
   RankLoad load_;
   Count unresolved_ = 0;
+
+  // Observability (all null / empty when observation is off).
+  obs::RankObserver* ob_;
+  obs::Histogram* wait_depth_hist_ = nullptr;
+  obs::Histogram* chain_hist_ = nullptr;
+  obs::Gauge* mailbox_gauge_ = nullptr;
+  std::vector<std::int64_t> pending_since_;  ///< request departure, by slot
 };
 
 }  // namespace
@@ -273,12 +317,16 @@ ParallelResult generate_pa_general(const PaConfig& config,
   PAGEN_CHECK_MSG(static_cast<NodeId>(options.ranks) <= config.n,
                   "more ranks than nodes");
 
+  obs::RankObserver* drv =
+      options.obs != nullptr ? &options.obs->driver() : nullptr;
+
   std::shared_ptr<const partition::Partition> part = options.custom_partition;
   if (part) {
     PAGEN_CHECK_MSG(part->num_nodes() == config.n &&
                         part->num_parts() == options.ranks,
                     "custom partition does not match (n, ranks)");
   } else {
+    const auto sp = obs::span(drv, "partition_build");
     part = partition::make_partition(options.scheme, config.n, options.ranks);
   }
 
@@ -286,15 +334,23 @@ ParallelResult generate_pa_general(const PaConfig& config,
   std::vector<graph::EdgeList> edge_slots(nranks);
   LoadVector load_slots(nranks);
 
-  const mps::RunResult run = mps::run_ranks(options.ranks, [&](mps::Comm& comm) {
-    RankXk rank(config, options, *part, comm);
-    rank.run();
-    const auto slot = static_cast<std::size_t>(comm.rank());
-    load_slots[slot] = rank.load();
-    if (options.gather_edges || options.keep_shards) {
-      edge_slots[slot] = rank.take_edges();
-    }
-  });
+  mps::RunResult run;
+  {
+    const auto world_span = obs::span(drv, "run_ranks");
+    run = mps::run_ranks(
+        options.ranks,
+        [&](mps::Comm& comm) {
+          RankXk rank(config, options, *part, comm);
+          rank.run();
+          const auto slot = static_cast<std::size_t>(comm.rank());
+          load_slots[slot] = rank.load();
+          if (auto* ob = comm.obs()) record_metrics(ob->metrics(), rank.load());
+          if (options.gather_edges || options.keep_shards) {
+            edge_slots[slot] = rank.take_edges();
+          }
+        },
+        options.obs);
+  }
 
   ParallelResult result;
   result.loads = std::move(load_slots);

@@ -1,10 +1,16 @@
 #include "mps/comm.h"
 
 #include "mps/engine.h"
+#include "obs/session.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace pagen::mps {
 namespace {
+
+/// Blocking waits shorter than this are not worth a trace event; longer
+/// ones are exactly the stalls Section 3.5's load analysis is after.
+constexpr std::int64_t kWaitSpanThresholdNs = 1'000'000;  // 1 ms
 
 std::vector<std::byte> encode_u64(std::uint64_t v) {
   std::vector<std::byte> b;
@@ -32,8 +38,10 @@ double decode_double(const std::vector<std::byte>& b) {
 
 }  // namespace
 
-Comm::Comm(World& world, Rank rank) : world_(world), rank_(rank) {
+Comm::Comm(World& world, Rank rank, obs::RankObserver* ob)
+    : world_(world), rank_(rank), obs_(ob) {
   PAGEN_CHECK(rank >= 0 && rank < world.size());
+  stats_.envelopes_to.assign(static_cast<std::size_t>(world.size()), 0);
 }
 
 int Comm::size() const { return world_.size(); }
@@ -42,6 +50,11 @@ void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
   PAGEN_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
   stats_.envelopes_sent += 1;
   stats_.bytes_sent += payload.size();
+  stats_.envelopes_to[static_cast<std::size_t>(dst)] += 1;
+  stats_.sent_by_tag[tag] += 1;
+  if (obs_ != nullptr && obs_->trace().sample_tick()) {
+    obs_->trace().instant("send");
+  }
   world_.mailbox(dst).push(Envelope{rank_, tag, std::move(payload)});
 }
 
@@ -55,51 +68,67 @@ bool Comm::poll(std::vector<Envelope>& out) {
 bool Comm::poll_wait(std::vector<Envelope>& out,
                      std::chrono::milliseconds timeout) {
   const std::size_t before = out.size();
+  if (obs_ == nullptr) {
+    const bool got = world_.mailbox(rank_).wait_drain(out, timeout);
+    account_received(out, before);
+    return got;
+  }
+  // Instrumented path: surface waits long enough to matter as retroactive
+  // "idle_wait" spans — the time a rank spends blocked on an unresolved
+  // dependency chain or on peers that have nothing for it yet.
+  const std::int64_t start = now_ns();
   const bool got = world_.mailbox(rank_).wait_drain(out, timeout);
+  const std::int64_t dur = now_ns() - start;
+  if (dur >= kWaitSpanThresholdNs) {
+    obs_->trace().span_at("idle_wait", start, dur);
+  }
   account_received(out, before);
   return got;
 }
+
+std::size_t Comm::pending() const { return world_.mailbox(rank_).size(); }
 
 void Comm::account_received(std::vector<Envelope>& out, std::size_t before) {
   for (std::size_t i = before; i < out.size(); ++i) {
     if (out[i].tag == kAbortTag) throw WorldAborted();
     stats_.envelopes_received += 1;
     stats_.bytes_received += out[i].payload.size();
+    stats_.received_by_tag[out[i].tag] += 1;
   }
 }
 
-void Comm::barrier() {
+std::vector<std::vector<std::byte>> Comm::exchange(const char* op,
+                                                   std::vector<std::byte> blob) {
   stats_.collectives += 1;
-  (void)world_.collectives().exchange(rank_, {});
+  const auto sp = obs::span(obs_, op);
+  return world_.collectives().exchange(rank_, std::move(blob));
 }
 
+void Comm::barrier() { (void)exchange("barrier", {}); }
+
 std::uint64_t Comm::allreduce_sum(std::uint64_t v) {
-  stats_.collectives += 1;
-  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  const auto all = exchange("allreduce_sum", encode_u64(v));
   std::uint64_t sum = 0;
   for (const auto& blob : all) sum += decode_u64(blob);
   return sum;
 }
 
 std::uint64_t Comm::allreduce_max(std::uint64_t v) {
-  stats_.collectives += 1;
-  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  const auto all = exchange("allreduce_max", encode_u64(v));
   std::uint64_t best = 0;
   for (const auto& blob : all) best = std::max(best, decode_u64(blob));
   return best;
 }
 
 double Comm::allreduce_sum_double(double v) {
-  stats_.collectives += 1;
-  const auto all = world_.collectives().exchange(rank_, encode_double(v));
+  const auto all = exchange("allreduce_sum", encode_double(v));
   double sum = 0;
   for (const auto& blob : all) sum += decode_double(blob);
   return sum;
 }
 
 std::vector<std::uint64_t> Comm::allgather(std::uint64_t v) {
-  stats_.collectives += 1;
-  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  const auto all = exchange("allgather", encode_u64(v));
   std::vector<std::uint64_t> out;
   out.reserve(all.size());
   for (const auto& blob : all) out.push_back(decode_u64(blob));
@@ -108,14 +137,12 @@ std::vector<std::uint64_t> Comm::allgather(std::uint64_t v) {
 
 std::vector<std::vector<std::byte>> Comm::allgather_bytes(
     std::vector<std::byte> blob) {
-  stats_.collectives += 1;
-  return world_.collectives().exchange(rank_, std::move(blob));
+  return exchange("allgather_bytes", std::move(blob));
 }
 
 std::uint64_t Comm::broadcast(std::uint64_t v, Rank root) {
   PAGEN_CHECK(root >= 0 && root < size());
-  stats_.collectives += 1;
-  const auto all = world_.collectives().exchange(rank_, encode_u64(v));
+  const auto all = exchange("broadcast", encode_u64(v));
   return decode_u64(all[static_cast<std::size_t>(root)]);
 }
 

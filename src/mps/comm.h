@@ -17,13 +17,19 @@
 #include "mps/stats.h"
 #include "util/types.h"
 
+namespace pagen::obs {
+class RankObserver;
+}
+
 namespace pagen::mps {
 
 class World;
 
 class Comm {
  public:
-  Comm(World& world, Rank rank);
+  /// @param ob this rank's observation endpoint, or null (the default) for
+  ///   the uninstrumented fast path.
+  Comm(World& world, Rank rank, obs::RankObserver* ob = nullptr);
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -70,12 +76,25 @@ class Comm {
   [[nodiscard]] CommStats& stats() { return stats_; }
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
+  /// This rank's observation endpoint (null when observation is off).
+  [[nodiscard]] obs::RankObserver* obs() const { return obs_; }
+
+  /// Envelopes currently queued in this rank's mailbox (diagnostic
+  /// snapshot; racy by nature). Feeds the mailbox-depth gauge.
+  [[nodiscard]] std::size_t pending() const;
+
  private:
   /// Count newly drained envelopes; throws WorldAborted on an abort tag.
   void account_received(std::vector<Envelope>& out, std::size_t before);
 
+  /// All collectives funnel through here: tallies the stat and wraps the
+  /// rendezvous in a trace span named after the operation.
+  std::vector<std::vector<std::byte>> exchange(const char* op,
+                                               std::vector<std::byte> blob);
+
   World& world_;
   Rank rank_;
+  obs::RankObserver* obs_;
   CommStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/session.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -21,7 +22,8 @@ Mailbox& World::mailbox(Rank r) {
   return *mailboxes_[static_cast<std::size_t>(r)];
 }
 
-RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body) {
+RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
+                    obs::Session* obs) {
   World world(nranks);
   RunResult result;
   result.rank_stats.resize(static_cast<std::size_t>(nranks));
@@ -32,8 +34,10 @@ RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
-      Comm comm(world, r);
+      obs::RankObserver* ob = obs != nullptr ? &obs->rank(r) : nullptr;
+      Comm comm(world, r, ob);
       try {
+        const auto sp = obs::span(ob, "rank");
         body(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
@@ -47,6 +51,7 @@ RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body) {
         }
       }
       result.rank_stats[static_cast<std::size_t>(r)] = comm.stats();
+      if (ob != nullptr) record_metrics(ob->metrics(), comm.stats());
     });
   }
   for (auto& t : threads) t.join();

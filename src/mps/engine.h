@@ -17,6 +17,10 @@
 #include "mps/stats.h"
 #include "util/types.h"
 
+namespace pagen::obs {
+class Session;
+}
+
 namespace pagen::mps {
 
 /// Shared runtime state for one group of ranks. Owns the mailboxes and the
@@ -43,6 +47,13 @@ struct RunResult {
 
 /// Launch `nranks` threads each executing `body(comm)`. Exceptions thrown by
 /// any rank are captured and the first one rethrown after all threads join.
-RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body);
+///
+/// When `obs` is non-null, every rank records into obs->rank(r): a "rank"
+/// span covering the body, the runtime's send/wait/collective events, and —
+/// after the body returns — its CommStats folded into the rank's metrics
+/// registry. `obs` must outlive the call and have at least `nranks` rank
+/// observers.
+RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
+                    obs::Session* obs = nullptr);
 
 }  // namespace pagen::mps

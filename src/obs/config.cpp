@@ -1,0 +1,22 @@
+#include "obs/config.h"
+
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace pagen::obs {
+
+std::vector<std::string> cli_keys() {
+  return {"trace-out", "metrics-out", "trace-sample"};
+}
+
+Config config_from_cli(const Cli& cli) {
+  Config cfg;
+  cfg.trace_out = cli.get_str("trace-out", "");
+  cfg.metrics_out = cli.get_str("metrics-out", "");
+  cfg.trace_sample = cli.get_u64("trace-sample", 1);
+  PAGEN_CHECK_MSG(cfg.trace_sample >= 1, "--trace-sample must be >= 1");
+  cfg.enabled = !cfg.trace_out.empty() || !cfg.metrics_out.empty();
+  return cfg;
+}
+
+}  // namespace pagen::obs

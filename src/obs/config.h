@@ -1,0 +1,46 @@
+// Configuration of the observability subsystem (tracing + metrics).
+//
+// The default-constructed Config is disabled: instrumented code paths see a
+// null RankObserver* and pay one predictable branch, nothing else — the
+// generators' hot paths are unchanged from the uninstrumented build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pagen {
+class Cli;
+}
+
+namespace pagen::obs {
+
+struct Config {
+  /// Master switch. Off = no observers are created, hooks are no-ops.
+  bool enabled = false;
+
+  /// Chrome trace-event JSON output path ("" = don't write a trace).
+  std::string trace_out;
+
+  /// Structured metrics JSON output path ("" = don't write metrics).
+  std::string metrics_out;
+
+  /// 1-in-N sampling for high-frequency trace events (per-envelope sends,
+  /// mailbox-depth counters). Spans and metrics are never sampled.
+  std::uint64_t trace_sample = 1;
+
+  /// Trace events retained per rank; the ring buffer keeps the newest
+  /// events and counts how many older ones it dropped.
+  std::size_t ring_capacity = 1 << 16;
+};
+
+/// CLI keys consumed by config_from_cli; append to a binary's allowed-key
+/// list: --trace-out=FILE --metrics-out=FILE --trace-sample=N.
+[[nodiscard]] std::vector<std::string> cli_keys();
+
+/// Build a Config from the standard flags. Enabled iff at least one of
+/// --trace-out / --metrics-out was given.
+[[nodiscard]] Config config_from_cli(const Cli& cli);
+
+}  // namespace pagen::obs

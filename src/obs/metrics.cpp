@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <ostream>
+
+namespace pagen::obs {
+namespace {
+
+/// Registry names are programmer-chosen literals; escape defensively.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+void write_registry(std::ostream& os, const MetricsRegistry& reg,
+                    const char* indent) {
+  os << "{\n" << indent << R"(  "counters": {)";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    os << (first ? "" : ",") << "\n" << indent << R"(    ")";
+    write_escaped(os, name);
+    os << R"(": )" << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n") << (first ? "" : indent) << (first ? "" : "  ")
+     << "},\n";
+
+  os << indent << R"(  "gauges": {)";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    os << (first ? "" : ",") << "\n" << indent << R"(    ")";
+    write_escaped(os, name);
+    os << R"(": {"last": )" << g.last() << R"(, "min": )" << g.min()
+       << R"(, "max": )" << g.max() << R"(, "samples": )" << g.samples()
+       << '}';
+    first = false;
+  }
+  os << (first ? "" : "\n") << (first ? "" : indent) << (first ? "" : "  ")
+     << "},\n";
+
+  os << indent << R"(  "histograms": {)";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    os << (first ? "" : ",") << "\n" << indent << R"(    ")";
+    write_escaped(os, name);
+    os << R"(": {"count": )" << h.count() << R"(, "sum": )" << h.sum()
+       << R"(, "min": )" << h.min() << R"(, "max": )" << h.max()
+       << R"(, "buckets": [)";
+    bool bfirst = true;
+    for (const Histogram::Bucket& b : h.buckets()) {
+      os << (bfirst ? "" : ", ") << R"({"le": )" << b.upper << R"(, "count": )"
+         << b.count << '}';
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << (first ? "" : indent) << (first ? "" : "  ")
+     << "}\n";
+  os << indent << '}';
+}
+
+}  // namespace
+
+void Gauge::set(std::int64_t v) {
+  last_ = v;
+  if (samples_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++samples_;
+}
+
+Gauge& Gauge::operator+=(const Gauge& o) {
+  if (o.samples_ == 0) return *this;
+  if (samples_ == 0) {
+    *this = o;
+    return *this;
+  }
+  last_ = o.last_;
+  if (o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  samples_ += o.samples_;
+  return *this;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  counts_[static_cast<std::size_t>(std::bit_width(v))] += 1;
+}
+
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    // Bit width i covers [2^{i-1}, 2^i - 1]; upper bound 2^i - 1. Width 0
+    // is the value 0 alone; width 64 caps at the maximal uint64.
+    const std::uint64_t upper =
+        i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+    out.push_back({upper, counts_[i]});
+  }
+  return out;
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) {
+  if (o.count_ == 0) return *this;
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  return *this;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name] += c;
+  for (const auto& [name, g] : o.gauges_) gauges_[name] += g;
+  for (const auto& [name, h] : o.histograms_) histograms_[name] += h;
+}
+
+void write_metrics_json(std::ostream& os,
+                        const std::vector<const MetricsRegistry*>& ranks) {
+  MetricsRegistry totals;
+  os << "{\n" << R"(  "schema": "pagen.metrics.v1",)" << "\n"
+     << R"(  "ranks": [)";
+  bool first = true;
+  int rank = 0;
+  for (const MetricsRegistry* reg : ranks) {
+    if (reg == nullptr) {
+      ++rank;
+      continue;
+    }
+    totals.merge(*reg);
+    os << (first ? "" : ",") << "\n    " << R"({"rank": )" << rank
+       << R"(, "metrics": )";
+    write_registry(os, *reg, "    ");
+    os << '}';
+    first = false;
+    ++rank;
+  }
+  os << (first ? "" : "\n  ") << "],\n" << R"(  "totals": )";
+  write_registry(os, totals, "  ");
+  os << "\n}\n";
+}
+
+}  // namespace pagen::obs

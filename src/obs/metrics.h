@@ -1,0 +1,134 @@
+// Named counters / gauges / histograms with structured JSON export.
+//
+// One MetricsRegistry per rank, written only by that rank's thread. Lookup
+// by name is a map walk — call sites on hot paths fetch the Counter& /
+// Histogram& handle once and bump it directly. Export iterates the
+// registries in rank order and each registry in sorted-name order, so two
+// identical runs produce byte-identical JSON (the property the tests and
+// the diffable bench artifacts rely on).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pagen::obs {
+
+/// Monotonically increasing tally. Merge across ranks = sum.
+class Counter {
+ public:
+  void add(Count n = 1) { value_ += n; }
+  [[nodiscard]] Count value() const { return value_; }
+
+  Counter& operator+=(const Counter& o) {
+    value_ += o.value_;
+    return *this;
+  }
+
+ private:
+  Count value_ = 0;
+};
+
+/// Point-in-time samples of a level (queue depth, buffer fill). Keeps
+/// last/min/max and the sample count. Merge across ranks: min of mins, max
+/// of maxes, samples summed, `last` taken from the last registry merged
+/// (meaningful per rank, indicative only in totals).
+class Gauge {
+ public:
+  void set(std::int64_t v);
+
+  [[nodiscard]] Count samples() const { return samples_; }
+  [[nodiscard]] std::int64_t last() const { return last_; }
+  [[nodiscard]] std::int64_t min() const { return min_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+  Gauge& operator+=(const Gauge& o);
+
+ private:
+  Count samples_ = 0;
+  std::int64_t last_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Power-of-two bucketed histogram of nonnegative values: bucket i holds
+/// values whose bit width is i, i.e. upper bounds 0, 1, 3, 7, ..., 2^i - 1.
+/// Exact count/sum/min/max ride along. Merge across ranks = bucket sums.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit widths 0..64
+
+  void observe(std::uint64_t v);
+
+  [[nodiscard]] Count count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  struct Bucket {
+    std::uint64_t upper = 0;  ///< inclusive upper bound (2^i - 1)
+    Count count = 0;
+  };
+
+  /// Non-empty buckets in increasing-bound order.
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+  Histogram& operator+=(const Histogram& o);
+
+ private:
+  Count count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<Count, kBuckets> counts_{};
+};
+
+/// Name → instrument map of one rank. Names are dot-separated lowercase
+/// ("mps.envelopes_sent", "pa.chain_latency_ns"); export order is the
+/// map's sorted-name order.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Fold another registry in (the cross-rank reduction): counters and
+  /// histograms sum, gauges merge per Gauge::operator+=.
+  void merge(const MetricsRegistry& o);
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Write the per-rank registries plus their cross-rank merge as one JSON
+/// object: {"schema":"pagen.metrics.v1","ranks":[{"rank":0,...},...],
+/// "totals":{...}}. Deterministic: rank order, then sorted names.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<const MetricsRegistry*>& ranks);
+
+}  // namespace pagen::obs

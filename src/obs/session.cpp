@@ -1,0 +1,74 @@
+#include "obs/session.h"
+
+#include <fstream>
+
+#include "util/error.h"
+
+namespace pagen::obs {
+
+namespace {
+
+/// Fail on an unwritable output path up front, not after the run it was
+/// supposed to capture has already burned its wall time.
+void check_writable(const std::string& path, const char* what) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  PAGEN_CHECK_MSG(os.good(), "cannot open " << what << " output " << path);
+}
+
+}  // namespace
+
+Session::Session(int nranks, Config cfg) : cfg_(std::move(cfg)) {
+  PAGEN_CHECK_MSG(nranks >= 1, "session needs at least one rank");
+  check_writable(cfg_.trace_out, "trace");
+  check_writable(cfg_.metrics_out, "metrics");
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks_.push_back(std::make_unique<RankObserver>(r, cfg_));
+  }
+  driver_ = std::make_unique<RankObserver>(nranks, cfg_, "driver");
+}
+
+RankObserver& Session::rank(int r) {
+  PAGEN_CHECK(r >= 0 && r < nranks());
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+void Session::write_trace(std::ostream& os) const {
+  std::vector<const Tracer*> tracers;
+  tracers.reserve(ranks_.size() + 1);
+  for (const auto& ob : ranks_) tracers.push_back(&ob->trace());
+  tracers.push_back(&driver_->trace());
+  write_chrome_trace(os, tracers);
+}
+
+void Session::write_metrics(std::ostream& os) const {
+  std::vector<const MetricsRegistry*> regs;
+  regs.reserve(ranks_.size() + 1);
+  for (const auto& ob : ranks_) regs.push_back(&ob->metrics());
+  regs.push_back(&driver_->metrics());
+  write_metrics_json(os, regs);
+}
+
+std::vector<std::string> Session::export_files() const {
+  std::vector<std::string> written;
+  if (!cfg_.trace_out.empty()) {
+    std::ofstream os(cfg_.trace_out);
+    PAGEN_CHECK_MSG(os.good(), "cannot open trace output " << cfg_.trace_out);
+    write_trace(os);
+    PAGEN_CHECK_MSG(os.good(), "failed writing trace to " << cfg_.trace_out);
+    written.push_back(cfg_.trace_out);
+  }
+  if (!cfg_.metrics_out.empty()) {
+    std::ofstream os(cfg_.metrics_out);
+    PAGEN_CHECK_MSG(os.good(),
+                    "cannot open metrics output " << cfg_.metrics_out);
+    write_metrics(os);
+    PAGEN_CHECK_MSG(os.good(),
+                    "failed writing metrics to " << cfg_.metrics_out);
+    written.push_back(cfg_.metrics_out);
+  }
+  return written;
+}
+
+}  // namespace pagen::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace pagen::obs {
+namespace {
+
+/// Trace-event names are compile-time literals, but escape defensively so
+/// the emitted JSON can never be invalidated by a stray quote or backslash.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+/// Microseconds with nanosecond precision, without float rounding drama.
+void write_us(std::ostream& os, std::int64_t ns) {
+  const std::int64_t us = ns / 1000;
+  const std::int64_t frac = (ns < 0 ? -ns : ns) % 1000;
+  os << us << '.';
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+void write_event(std::ostream& os, int rank, const TraceEvent& e) {
+  os << R"({"pid":1,"tid":)" << rank << R"(,"cat":"pagen","name":")";
+  write_escaped(os, e.name);
+  os << R"(","ts":)";
+  write_us(os, e.start_ns);
+  switch (e.kind) {
+    case EventKind::kSpan:
+      os << R"(,"ph":"X","dur":)";
+      write_us(os, e.dur_ns);
+      break;
+    case EventKind::kInstant:
+      os << R"(,"ph":"i","s":"t")";
+      break;
+    case EventKind::kCounter:
+      os << R"(,"ph":"C","args":{"value":)" << e.value << '}';
+      break;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+Tracer::Tracer(int rank, std::size_t ring_capacity, std::uint64_t sample,
+               const char* label)
+    : rank_(rank), label_(label), sample_(sample), capacity_(ring_capacity) {
+  PAGEN_CHECK_MSG(ring_capacity >= 1, "trace ring needs capacity >= 1");
+  PAGEN_CHECK_MSG(sample >= 1, "trace sample factor must be >= 1");
+  ring_.reserve(capacity_);
+}
+
+void Tracer::record(const TraceEvent& e) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void Tracer::begin(const char* name) { stack_.push_back({name, now_ns()}); }
+
+void Tracer::end() {
+  PAGEN_CHECK_MSG(!stack_.empty(), "Tracer::end without matching begin");
+  const Open open = stack_.back();
+  stack_.pop_back();
+  record({open.name, open.start_ns, now_ns() - open.start_ns, 0,
+          EventKind::kSpan});
+}
+
+void Tracer::instant(const char* name) {
+  record({name, now_ns(), 0, 0, EventKind::kInstant});
+}
+
+void Tracer::counter(const char* name, std::int64_t value) {
+  record({name, now_ns(), 0, value, EventKind::kCounter});
+}
+
+void Tracer::span_at(const char* name, std::int64_t start_ns,
+                     std::int64_t dur_ns) {
+  record({name, start_ns, dur_ns, 0, EventKind::kSpan});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, head_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const { return ring_.size(); }
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers) {
+  os << R"({"displayTimeUnit":"ms","traceEvents":[)";
+  bool first = true;
+  for (const Tracer* t : tracers) {
+    if (t == nullptr) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n"
+       << R"({"pid":1,"tid":)" << t->rank()
+       << R"(,"ph":"M","name":"thread_name","args":{"name":")";
+    if (t->label() != nullptr) {
+      write_escaped(os, t->label());
+    } else {
+      os << "rank " << t->rank();
+    }
+    os << R"("}})";
+    for (const TraceEvent& e : t->events()) {
+      os << ",\n";
+      write_event(os, t->rank(), e);
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace pagen::obs

@@ -1,0 +1,134 @@
+// Per-rank event tracer with Chrome trace-event JSON export.
+//
+// One Tracer per rank, written only by that rank's thread — no locks on the
+// record path. Events land in a fixed-capacity ring buffer (newest win;
+// dropped events are counted), timestamped from the process-wide monotonic
+// epoch (util/timer.h::now_ns), so trace times line up with bench Timer
+// readings. Export produces a trace-event array that chrome://tracing and
+// https://ui.perfetto.dev open directly, with one track ("thread") per rank.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pagen::obs {
+
+enum class EventKind : std::uint8_t {
+  kSpan,     ///< begin/end pair, recorded at end ("X" complete event)
+  kInstant,  ///< point event ("i")
+  kCounter,  ///< sampled value over time ("C")
+};
+
+struct TraceEvent {
+  const char* name = "";      ///< must outlive the tracer (string literals)
+  std::int64_t start_ns = 0;  ///< epoch-relative (now_ns)
+  std::int64_t dur_ns = 0;    ///< spans only
+  std::int64_t value = 0;     ///< counters only
+  EventKind kind = EventKind::kInstant;
+};
+
+class Tracer {
+ public:
+  /// @param rank track id in the exported trace.
+  /// @param ring_capacity events retained (oldest overwritten, counted).
+  /// @param sample 1-in-N gate returned by sample_tick() for call sites
+  ///   that fire per message; spans are never sampled.
+  /// @param label track name in the trace viewer; null = "rank <rank>".
+  Tracer(int rank, std::size_t ring_capacity, std::uint64_t sample = 1,
+         const char* label = nullptr);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] const char* label() const { return label_; }
+
+  /// Open a span; every begin() must be matched by end() on the same
+  /// thread. The span is recorded once it closes, so the ring buffer never
+  /// holds half an event and wraparound cannot orphan a begin.
+  void begin(const char* name);
+  void end();
+
+  void instant(const char* name);
+  void counter(const char* name, std::int64_t value);
+
+  /// Record an already-measured span (e.g. a blocking wait timed by the
+  /// caller) without touching the open-span stack.
+  void span_at(const char* name, std::int64_t start_ns, std::int64_t dur_ns);
+
+  /// 1-in-N sampling gate for high-frequency events: true on the first call
+  /// and then every sample-th call. With sample == 1, always true.
+  [[nodiscard]] bool sample_tick() {
+    return tick_++ % sample_ == 0;
+  }
+
+  /// RAII span; no-ops when constructed with a null tracer, so call sites
+  /// need no branch of their own.
+  class Span {
+   public:
+    Span(Tracer* t, const char* name) : t_(t) {
+      if (t_ != nullptr) t_->begin(name);
+    }
+    ~Span() {
+      if (t_ != nullptr) t_->end();
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& o) noexcept : t_(o.t_) { o.t_ = nullptr; }
+    Span& operator=(Span&&) = delete;
+
+   private:
+    Tracer* t_;
+  };
+
+  [[nodiscard]] Span span(const char* name) { return Span{this, name}; }
+
+  /// Retained events, oldest first (resolves the ring wraparound).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events recorded over the tracer's lifetime, including dropped ones.
+  [[nodiscard]] Count total_recorded() const { return total_; }
+
+  /// Events overwritten because the ring filled up.
+  [[nodiscard]] Count dropped() const {
+    return total_ > capacity_ ? total_ - capacity_ : 0;
+  }
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Open {
+    const char* name;
+    std::int64_t start_ns;
+  };
+
+  void record(const TraceEvent& e);
+
+  int rank_;
+  const char* label_;
+  std::uint64_t sample_;
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  Count total_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::vector<Open> stack_;
+};
+
+/// Null-safe RAII span over an optional tracer pointer.
+[[nodiscard]] inline Tracer::Span span(Tracer* t, const char* name) {
+  return Tracer::Span{t, name};
+}
+
+/// Write all tracers as one Chrome trace-event JSON object
+/// ({"traceEvents":[...]}): pid 1, tid = rank, a thread_name metadata
+/// record per rank, span/instant/counter phases, timestamps in
+/// microseconds. Loads in chrome://tracing and Perfetto as-is.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers);
+
+}  // namespace pagen::obs

@@ -1,27 +1,42 @@
 // Wall-clock timing helpers.
+//
+// Everything stamps from one process-wide monotonic epoch (now_ns), so
+// bench timings (Timer) and trace timestamps (obs::Tracer) are directly
+// comparable: second 3.2 of a bench log is microsecond 3.2e6 in the trace.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace pagen {
+
+/// Nanoseconds since the process-wide monotonic epoch. The epoch is the
+/// first call in the process (thread-safe static init), so values are
+/// small, positive, and shared by every Timer and tracer.
+[[nodiscard]] inline std::int64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
 
 /// Monotonic stopwatch. Started on construction; restart() rewinds.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(now_ns()) {}
 
-  void restart() { start_ = Clock::now(); }
+  void restart() { start_ = now_ns(); }
 
   /// Elapsed seconds since construction or the last restart().
   [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(now_ns() - start_) * 1e-9;
   }
 
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::int64_t start_;
 };
 
 }  // namespace pagen

@@ -1,0 +1,219 @@
+// Minimal strict JSON well-formedness checker for tests.
+//
+// Validates structure only (objects, arrays, strings, numbers, literals) —
+// enough to assert the exported trace/metrics artifacts will load in any
+// real parser (Perfetto, python json, CMake string(JSON)). Returns an error
+// description instead of throwing so tests can EXPECT on it.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace pagen::testing {
+
+class JsonLint {
+ public:
+  /// Returns "" when `text` is one valid JSON value (with optional trailing
+  /// whitespace), else a short error with the offending offset.
+  static std::string check(const std::string& text) {
+    JsonLint lint(text);
+    if (!lint.value()) return lint.error_;
+    lint.ws();
+    if (lint.pos_ != text.size()) return lint.fail("trailing garbage");
+    return "";
+  }
+
+ private:
+  explicit JsonLint(const std::string& t) : text_(t) {}
+
+  std::string fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return error_;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c != '\0'; ++c, ++pos_) {
+      if (eof() || peek() != *c) {
+        fail(std::string("bad literal, expected ") + word);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      fail("bad number");
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        fail("bad fraction");
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        fail("bad exponent");
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return false;
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control char in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) {
+          fail("dangling escape");
+          return false;
+        }
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              fail("bad \\u escape");
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          fail("bad escape");
+          return false;
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      ws();
+      if (eof() || peek() != '"') {
+        fail("expected object key");
+        return false;
+      }
+      if (!string()) return false;
+      ws();
+      if (eof() || peek() != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      if (!value()) return false;
+      ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool value() {
+    ws();
+    if (eof()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace pagen::testing

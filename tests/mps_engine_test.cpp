@@ -95,6 +95,51 @@ TEST(Engine, StatsCountEnvelopesAndBytes) {
   EXPECT_EQ(r.rank_stats[1].bytes_received, sizeof(std::uint64_t));
 }
 
+TEST(Engine, StatsAreSymmetricAcrossTheWorld) {
+  // Every envelope sent is eventually received: after a quiesced run the
+  // world-wide send and receive tallies must agree, overall, per tag, and
+  // per destination.
+  constexpr int kRanks = 5;
+  const RunResult r = run_ranks(kRanks, [](Comm& comm) {
+    // Each rank sends one tag-1 item to every peer and tag-2 to its
+    // successor, then drains until it has everything addressed to it.
+    for (Rank dst = 0; dst < kRanks; ++dst) {
+      if (dst != comm.rank()) {
+        comm.send_item<std::uint64_t>(dst, 1,
+                                      static_cast<std::uint64_t>(dst));
+      }
+    }
+    comm.send_item<std::uint64_t>((comm.rank() + 1) % kRanks, 2, 7);
+    // Every rank is addressed by exactly kRanks envelopes: kRanks-1 tag-1
+    // plus 1 tag-2. poll_wait appends, so `in` accumulates them all.
+    std::vector<Envelope> in;
+    while (in.size() < static_cast<std::size_t>(kRanks)) {
+      (void)comm.poll_wait(in, 100ms);
+    }
+    comm.barrier();
+  });
+
+  CommStats world;
+  for (const CommStats& s : r.rank_stats) world += s;
+  EXPECT_EQ(world.envelopes_sent, world.envelopes_received);
+  EXPECT_EQ(world.bytes_sent, world.bytes_received);
+  EXPECT_EQ(world.envelopes_sent, static_cast<Count>(kRanks * kRanks));
+  // Per-tag tallies agree too (tag 1: all-to-all, tag 2: the ring).
+  EXPECT_EQ(world.sent_by_tag.at(1), world.received_by_tag.at(1));
+  EXPECT_EQ(world.sent_by_tag.at(1),
+            static_cast<Count>(kRanks * (kRanks - 1)));
+  EXPECT_EQ(world.sent_by_tag.at(2), world.received_by_tag.at(2));
+  EXPECT_EQ(world.sent_by_tag.at(2), static_cast<Count>(kRanks));
+  // Per-destination counts: everything addressed to rank r was counted by
+  // someone's envelopes_to[r], and the sum matches what r received.
+  ASSERT_EQ(world.envelopes_to.size(), static_cast<std::size_t>(kRanks));
+  for (int dst = 0; dst < kRanks; ++dst) {
+    EXPECT_EQ(world.envelopes_to[static_cast<std::size_t>(dst)],
+              r.rank_stats[static_cast<std::size_t>(dst)].envelopes_received)
+        << "dst " << dst;
+  }
+}
+
 TEST(Engine, RankExceptionPropagatesAsRootCause) {
   EXPECT_THROW(
       run_ranks(4,

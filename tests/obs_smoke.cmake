@@ -1,0 +1,75 @@
+# End-to-end smoke for the observability pipeline: run quickstart with
+# tracing and metrics enabled, then validate both artifacts with CMake's
+# strict JSON parser (string(JSON)) — the same bar a real consumer
+# (Perfetto, python json) would apply.
+#
+# Invoked by ctest as:
+#   cmake -DQUICKSTART=<binary> -DOUT_DIR=<scratch dir> -P obs_smoke.cmake
+cmake_minimum_required(VERSION 3.25)
+
+if(NOT DEFINED QUICKSTART OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "obs_smoke.cmake needs -DQUICKSTART=... and -DOUT_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace_file "${OUT_DIR}/trace.json")
+set(metrics_file "${OUT_DIR}/metrics.json")
+file(REMOVE "${trace_file}" "${metrics_file}")
+
+execute_process(
+  COMMAND "${QUICKSTART}" --n=20000 --x=2 --ranks=4
+          "--trace-out=${trace_file}" "--metrics-out=${metrics_file}"
+          --trace-sample=8
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart failed (rc=${rc})\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+foreach(artifact IN ITEMS "${trace_file}" "${metrics_file}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "expected artifact was not written: ${artifact}")
+  endif()
+  file(READ "${artifact}" body)
+  string(JSON kind ERROR_VARIABLE json_err TYPE "${body}")
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "${artifact} is not valid JSON: ${json_err}")
+  endif()
+  if(NOT kind STREQUAL "OBJECT")
+    message(FATAL_ERROR "${artifact}: expected a top-level object, got ${kind}")
+  endif()
+endforeach()
+
+# Trace: must carry a traceEvents array with at least one event per rank
+# (4 ranks + driver => well over 5 events) and the rank-name metadata.
+file(READ "${trace_file}" trace_body)
+string(JSON events_type TYPE "${trace_body}" "traceEvents")
+if(NOT events_type STREQUAL "ARRAY")
+  message(FATAL_ERROR "trace: traceEvents is ${events_type}, expected ARRAY")
+endif()
+string(JSON n_events LENGTH "${trace_body}" "traceEvents")
+if(n_events LESS 5)
+  message(FATAL_ERROR "trace: only ${n_events} events recorded")
+endif()
+string(FIND "${trace_body}" "\"rank 0\"" rank0_at)
+if(rank0_at EQUAL -1)
+  message(FATAL_ERROR "trace: missing 'rank 0' track name metadata")
+endif()
+
+# Metrics: schema marker, one entry per rank, and a merged totals object.
+file(READ "${metrics_file}" metrics_body)
+string(JSON schema GET "${metrics_body}" "schema")
+if(NOT schema STREQUAL "pagen.metrics.v1")
+  message(FATAL_ERROR "metrics: unexpected schema '${schema}'")
+endif()
+string(JSON n_ranks LENGTH "${metrics_body}" "ranks")
+if(n_ranks LESS 4)
+  message(FATAL_ERROR "metrics: only ${n_ranks} rank entries, expected >= 4")
+endif()
+string(JSON totals_type TYPE "${metrics_body}" "totals")
+if(NOT totals_type STREQUAL "OBJECT")
+  message(FATAL_ERROR "metrics: totals is ${totals_type}, expected OBJECT")
+endif()
+
+message(STATUS "obs smoke OK: ${n_events} trace events, ${n_ranks} rank metric blocks")

@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/generate.h"
+#include "json_lint.h"
+#include "obs/session.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace pagen::obs {
+namespace {
+
+using pagen::testing::JsonLint;
+
+TEST(Tracer, SpanNestingRecordsInnerBeforeOuterWithContainment) {
+  Tracer t(0, 64);
+  t.begin("outer");
+  t.begin("inner");
+  t.end();
+  t.end();
+
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded when they close, so the inner span lands first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].kind, EventKind::kSpan);
+  EXPECT_EQ(events[1].kind, EventKind::kSpan);
+  // Temporal containment: inner ⊆ outer.
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST(Tracer, RaiiSpanClosesOnScopeExitAndNullTracerIsNoop) {
+  Tracer t(0, 64);
+  {
+    const auto outer = t.span("outer");
+    const auto noop = span(static_cast<Tracer*>(nullptr), "ignored");
+    EXPECT_EQ(t.events().size(), 0u);  // still open
+  }
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_STREQ(t.events()[0].name, "outer");
+}
+
+TEST(Tracer, EndWithoutBeginIsChecked) {
+  Tracer t(0, 8);
+  EXPECT_THROW(t.end(), CheckError);
+}
+
+TEST(Tracer, RingBufferKeepsNewestAndCountsDropped) {
+  Tracer t(0, 4);
+  for (int i = 0; i < 10; ++i) {
+    t.counter("tick", i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first order, holding the newest four events (values 6..9).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].value, 6 + i);
+  }
+}
+
+TEST(Tracer, WraparoundPreservesChronologicalOrder) {
+  Tracer t(0, 3);
+  for (int i = 0; i < 7; ++i) t.instant("e");
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[1].start_ns, events[2].start_ns);
+}
+
+TEST(Tracer, SampleTickGatesOneInN) {
+  Tracer t(0, 8, 3);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (t.sample_tick()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // calls 0, 3, 6
+
+  Tracer always(0, 8, 1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(always.sample_tick());
+}
+
+TEST(Tracer, SpanAtRecordsRetroactively) {
+  Tracer t(0, 8);
+  t.span_at("wait", 1000, 250);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_ns, 1000);
+  EXPECT_EQ(events[0].dur_ns, 250);
+  EXPECT_EQ(events[0].kind, EventKind::kSpan);
+}
+
+TEST(Tracer, TimestampsShareTheTimerEpoch) {
+  const std::int64_t before = now_ns();
+  Tracer t(0, 8);
+  t.instant("mark");
+  const std::int64_t after = now_ns();
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].start_ns, before);
+  EXPECT_LE(events[0].start_ns, after);
+}
+
+TEST(ChromeTrace, ExportIsValidJsonWithOneTrackPerRank) {
+  Tracer r0(0, 16);
+  Tracer r1(1, 16);
+  r0.begin("generate");
+  r0.end();
+  r0.instant("send");
+  r1.counter("mailbox_depth", 5);
+
+  std::ostringstream os;
+  write_chrome_trace(os, {&r0, &r1});
+  const std::string json = os.str();
+
+  EXPECT_EQ(JsonLint::check(json), "");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter
+  EXPECT_NE(json.find("\"name\":\"generate\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyAndWrappedTracersStillExportValidJson) {
+  Tracer empty(0, 4);
+  Tracer wrapped(1, 2);
+  for (int i = 0; i < 100; ++i) wrapped.instant("hot");
+
+  std::ostringstream os;
+  write_chrome_trace(os, {&empty, &wrapped});
+  EXPECT_EQ(JsonLint::check(os.str()), "");
+}
+
+TEST(ObsIntegration, GeneratorEmitsPhaseSpansOnEveryRankTrack) {
+  constexpr int kRanks = 4;
+  obs::Config cfg;
+  cfg.enabled = true;
+  Session session(kRanks, cfg);
+
+  PaConfig pa;
+  pa.n = 20000;
+  pa.x = 2;
+  pa.seed = 11;
+  core::ParallelOptions opt;
+  opt.ranks = kRanks;
+  opt.gather_edges = false;
+  opt.obs = &session;
+  (void)core::generate(pa, opt);
+
+  for (int r = 0; r < kRanks; ++r) {
+    bool saw_generate = false, saw_drain = false, saw_termination = false,
+         saw_rank = false;
+    for (const TraceEvent& e : session.rank(r).trace().events()) {
+      const std::string name = e.name;
+      saw_generate |= name == "generate";
+      saw_drain |= name == "drain";
+      saw_termination |= name == "termination";
+      saw_rank |= name == "rank";
+    }
+    EXPECT_TRUE(saw_generate) << "rank " << r;
+    EXPECT_TRUE(saw_drain) << "rank " << r;
+    EXPECT_TRUE(saw_termination) << "rank " << r;
+    EXPECT_TRUE(saw_rank) << "rank " << r;
+  }
+
+  // Driver track carries partition construction and the world span.
+  bool saw_partition = false, saw_world = false;
+  for (const TraceEvent& e : session.driver().trace().events()) {
+    const std::string name = e.name;
+    saw_partition |= name == "partition_build";
+    saw_world |= name == "run_ranks";
+  }
+  EXPECT_TRUE(saw_partition);
+  EXPECT_TRUE(saw_world);
+
+  std::ostringstream os;
+  session.write_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(JsonLint::check(json), "");
+  EXPECT_NE(json.find("\"name\":\"driver\""), std::string::npos);
+}
+
+TEST(ObsIntegration, DisabledOptionsLeaveGeneratorUnobserved) {
+  PaConfig pa;
+  pa.n = 5000;
+  pa.x = 1;
+  pa.seed = 3;
+  core::ParallelOptions opt;
+  opt.ranks = 3;
+  opt.gather_edges = true;
+  // opt.obs left null: must run exactly as before (smoke for the fast path).
+  const auto result = core::generate(pa, opt);
+  EXPECT_EQ(result.total_edges, pa.n - 1);
+}
+
+}  // namespace
+}  // namespace pagen::obs
