@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: reports files that deviate from .clang-format
+# without rewriting anything. Exits 0 when clang-format is unavailable so
+# developer machines without LLVM tooling aren't blocked; CI installs the
+# tool and enforces the real verdict.
+#
+# Usage: scripts/check-format.sh [clang-format-binary]
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${1:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check-format: $CLANG_FORMAT not found; skipping (install LLVM tools to run locally)"
+  exit 0
+fi
+
+status=0
+bad=0
+checked=0
+while IFS= read -r -d '' file; do
+  checked=$((checked + 1))
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$file" >/dev/null 2>&1; then
+    echo "needs formatting: $file"
+    bad=$((bad + 1))
+    status=1
+  fi
+done < <(find src tests bench examples \
+              \( -name '*.cpp' -o -name '*.h' \) -print0 | sort -z)
+
+echo "check-format: $checked files checked, $bad need formatting"
+exit "$status"

@@ -55,7 +55,8 @@ void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
   if (obs_ != nullptr && obs_->trace().sample_tick()) {
     obs_->trace().instant("send");
   }
-  world_.mailbox(dst).push(Envelope{rank_, tag, std::move(payload)});
+  const std::uint64_t seq = world_.invariants().on_send(rank_, dst, tag);
+  world_.mailbox(dst).push(Envelope{rank_, tag, std::move(payload), seq});
 }
 
 bool Comm::poll(std::vector<Envelope>& out) {
@@ -69,7 +70,7 @@ bool Comm::poll_wait(std::vector<Envelope>& out,
                      std::chrono::milliseconds timeout) {
   const std::size_t before = out.size();
   if (obs_ == nullptr) {
-    const bool got = world_.mailbox(rank_).wait_drain(out, timeout);
+    const bool got = wait_drain_checked(out, timeout);
     account_received(out, before);
     return got;
   }
@@ -77,7 +78,7 @@ bool Comm::poll_wait(std::vector<Envelope>& out,
   // "idle_wait" spans — the time a rank spends blocked on an unresolved
   // dependency chain or on peers that have nothing for it yet.
   const std::int64_t start = now_ns();
-  const bool got = world_.mailbox(rank_).wait_drain(out, timeout);
+  const bool got = wait_drain_checked(out, timeout);
   const std::int64_t dur = now_ns() - start;
   if (dur >= kWaitSpanThresholdNs) {
     obs_->trace().span_at("idle_wait", start, dur);
@@ -86,11 +87,24 @@ bool Comm::poll_wait(std::vector<Envelope>& out,
   return got;
 }
 
+bool Comm::wait_drain_checked(std::vector<Envelope>& out,
+                              std::chrono::milliseconds timeout) {
+  InvariantChecker& inv = world_.invariants();
+  inv.enter_wait(rank_, "poll_wait");
+  const bool got = world_.mailbox(rank_).wait_drain(out, timeout);
+  inv.leave_wait(rank_, got);
+  // A fruitless blocking wait is the deadlock probe's trigger point: this
+  // rank is demonstrably idle, so it does the global stall check.
+  if (!got) inv.on_wait_timeout(rank_);
+  return got;
+}
+
 std::size_t Comm::pending() const { return world_.mailbox(rank_).size(); }
 
 void Comm::account_received(std::vector<Envelope>& out, std::size_t before) {
   for (std::size_t i = before; i < out.size(); ++i) {
     if (out[i].tag == kAbortTag) throw WorldAborted();
+    world_.invariants().on_receive(rank_, out[i]);
     stats_.envelopes_received += 1;
     stats_.bytes_received += out[i].payload.size();
     stats_.received_by_tag[out[i].tag] += 1;
@@ -101,7 +115,16 @@ std::vector<std::vector<std::byte>> Comm::exchange(const char* op,
                                                    std::vector<std::byte> blob) {
   stats_.collectives += 1;
   const auto sp = obs::span(obs_, op);
-  return world_.collectives().exchange(rank_, std::move(blob));
+  InvariantChecker& inv = world_.invariants();
+  inv.enter_wait(rank_, "collective");
+  try {
+    auto result = world_.collectives().exchange(rank_, std::move(blob));
+    inv.leave_wait(rank_, /*made_progress=*/true);
+    return result;
+  } catch (...) {
+    inv.leave_wait(rank_, /*made_progress=*/false);
+    throw;
+  }
 }
 
 void Comm::barrier() { (void)exchange("barrier", {}); }

@@ -87,6 +87,12 @@ class Comm {
   /// Count newly drained envelopes; throws WorldAborted on an abort tag.
   void account_received(std::vector<Envelope>& out, std::size_t before);
 
+  /// wait_drain bracketed by the invariant checker's wait hooks (debug
+  /// builds): stall-clock bookkeeping plus the deadlock probe on a
+  /// fruitless timeout. Compiles down to plain wait_drain in Release.
+  bool wait_drain_checked(std::vector<Envelope>& out,
+                          std::chrono::milliseconds timeout);
+
   /// All collectives funnel through here: tallies the stat and wraps the
   /// rendezvous in a trace span named after the operation.
   std::vector<std::vector<std::byte>> exchange(const char* op,

@@ -9,7 +9,8 @@
 
 namespace pagen::mps {
 
-World::World(int nranks) : nranks_(nranks), collectives_(nranks) {
+World::World(int nranks)
+    : nranks_(nranks), collectives_(nranks), invariants_(nranks) {
   PAGEN_CHECK_MSG(nranks >= 1, "world needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -50,6 +51,10 @@ RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
           if (peer != r) world.mailbox(peer).push(Envelope{r, kAbortTag, {}});
         }
       }
+      // Mark the exit only after any abort envelopes are pushed, so the
+      // deadlock probe never sees "rank r can't send" while peers still
+      // lack their wake-up envelope.
+      world.invariants().note_rank_exit(r);
       result.rank_stats[static_cast<std::size_t>(r)] = comm.stats();
       if (ob != nullptr) record_metrics(ob->metrics(), comm.stats());
     });
@@ -73,6 +78,10 @@ RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
     }
   }
   if (first) std::rethrow_exception(first);
+  // Exception-free world: audit the sent-vs-received ledger. A message that
+  // was pushed but never drained means some rank stopped polling too early
+  // (debug builds only; the Release stub inlines to nothing).
+  world.invariants().verify_termination();
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "mps/collectives.h"
 #include "mps/comm.h"
+#include "mps/invariant.h"
 #include "mps/mailbox.h"
 #include "mps/stats.h"
 #include "util/types.h"
@@ -33,10 +34,15 @@ class World {
   [[nodiscard]] Mailbox& mailbox(Rank r);
   [[nodiscard]] CollectiveContext& collectives() { return collectives_; }
 
+  /// Debug-build invariant checker (mps/invariant.h). In Release builds
+  /// this is the zero-cost stub; call sites need no #ifdef.
+  [[nodiscard]] InvariantChecker& invariants() { return invariants_; }
+
  private:
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CollectiveContext collectives_;
+  InvariantChecker invariants_;
 };
 
 /// Result of one Engine::run: per-rank runtime statistics and wall time.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <type_traits>
@@ -24,6 +25,12 @@ struct Envelope {
   Rank src = -1;
   int tag = 0;
   std::vector<std::byte> payload;
+
+  /// Per-(src, dst, tag) send sequence number, stamped by Comm::send_bytes
+  /// when PAGEN_CHECK_INVARIANTS is on (0 otherwise). The invariant checker
+  /// asserts these arrive in order — the non-overtaking delivery guarantee
+  /// (mps/invariant.h). Not part of any user protocol.
+  std::uint64_t seq = 0;
 };
 
 /// Reserved tag broadcast by the engine when a rank dies: Comm::poll and

@@ -64,7 +64,9 @@ Tracer::Tracer(int rank, std::size_t ring_capacity, std::uint64_t sample,
 }
 
 void Tracer::record(const TraceEvent& e) {
-  ++total_;
+  // Relaxed: the lifetime counter carries no ordering obligations — it
+  // publishes nothing, and concurrent readers tolerate lag (trace.h audit).
+  total_.fetch_add(1, std::memory_order_relaxed);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
     return;

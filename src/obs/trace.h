@@ -6,8 +6,26 @@
 // epoch (util/timer.h::now_ns), so trace times line up with bench Timer
 // readings. Export produces a trace-event array that chrome://tracing and
 // https://ui.perfetto.dev open directly, with one track ("thread") per rank.
+//
+// ## Concurrency audit (kept in sync with the TSan suite)
+//
+// The record path is lock-free by *single-writer discipline*, not by
+// atomics: ring_, head_, stack_, and tick_ are owned by the recording
+// thread. Cross-thread visibility of those fields comes solely from
+// thread::join — export (events(), size(), write_chrome_trace) must run
+// after the recording thread has joined, never concurrently with it.
+//
+// The one exception is total_: live monitors (progress displays, the race
+// stress test) legitimately read total_recorded()/dropped() *while* the
+// owner is still recording, so total_ is a std::atomic<Count>.
+//   * increment: fetch_add(1, memory_order_relaxed) — the counter orders
+//     nothing; no other memory must become visible with it.
+//   * read: load(memory_order_relaxed) — monitors want a recent value, not
+//     a synchronized snapshot; exact reads post-join are guaranteed by the
+//     join's happens-before edge, not by this load's ordering.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -87,17 +105,25 @@ class Tracer {
 
   [[nodiscard]] Span span(const char* name) { return Span{this, name}; }
 
-  /// Retained events, oldest first (resolves the ring wraparound).
+  /// Retained events, oldest first (resolves the ring wraparound). Owner
+  /// thread only, or post-join (see the concurrency audit above).
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   /// Events recorded over the tracer's lifetime, including dropped ones.
-  [[nodiscard]] Count total_recorded() const { return total_; }
-
-  /// Events overwritten because the ring filled up.
-  [[nodiscard]] Count dropped() const {
-    return total_ > capacity_ ? total_ - capacity_ : 0;
+  /// Safe to call from any thread while recording is in progress (relaxed
+  /// read; see the concurrency audit above).
+  [[nodiscard]] Count total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
   }
 
+  /// Events overwritten because the ring filled up. Same thread-safety as
+  /// total_recorded().
+  [[nodiscard]] Count dropped() const {
+    const Count total = total_.load(std::memory_order_relaxed);
+    return total > capacity_ ? total - capacity_ : 0;
+  }
+
+  /// Owner thread only, or post-join.
   [[nodiscard]] std::size_t size() const;
 
  private:
@@ -114,7 +140,7 @@ class Tracer {
   std::uint64_t tick_ = 0;
   std::size_t capacity_;
   std::size_t head_ = 0;  ///< next write slot once the ring is full
-  Count total_ = 0;
+  std::atomic<Count> total_{0};  ///< sole cross-thread field; audit above
   std::vector<TraceEvent> ring_;
   std::vector<Open> stack_;
 };

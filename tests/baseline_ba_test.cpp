@@ -62,8 +62,8 @@ INSTANTIATE_TEST_SUITE_P(
     Impls, BaGenerators,
     ::testing::Values(Named{"naive", &ba_naive},
                       Named{"batagelj_brandes", &ba_batagelj_brandes}),
-    [](const ::testing::TestParamInfo<Named>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<Named>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 TEST(BaAgreement, ImplementationsAgreeStatistically) {

@@ -15,10 +15,10 @@ namespace {
 
 using Param = std::tuple<NodeId, int, NodeId>;  // n, parts, block
 
-std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
-         std::to_string(std::get<1>(info.param)) + "_b" +
-         std::to_string(std::get<2>(info.param));
+std::string param_name(const ::testing::TestParamInfo<Param>& param_info) {
+  return "n" + std::to_string(std::get<0>(param_info.param)) + "_p" +
+         std::to_string(std::get<1>(param_info.param)) + "_b" +
+         std::to_string(std::get<2>(param_info.param));
 }
 
 class BlockCyclicProperties : public ::testing::TestWithParam<Param> {};
@@ -36,7 +36,9 @@ TEST_P(BlockCyclicProperties, IsATruePartition) {
       ASSERT_LT(u, n);
       EXPECT_EQ(part->owner(u), i);
       EXPECT_EQ(part->local_index(u), idx);
-      if (idx > 0) EXPECT_GT(u, prev);
+      if (idx > 0) {
+        EXPECT_GT(u, prev);
+      }
       prev = u;
       EXPECT_TRUE(seen.insert(u).second);
     }

@@ -39,8 +39,8 @@ TEST_P(DistributedDegree, MatchesCentralizedComputation) {
 INSTANTIATE_TEST_SUITE_P(Schemes, DistributedDegree,
                          ::testing::Values(Scheme::kUcp, Scheme::kLcp,
                                            Scheme::kRrp),
-                         [](const ::testing::TestParamInfo<Scheme>& info) {
-                           return partition::to_string(info.param);
+                         [](const ::testing::TestParamInfo<Scheme>& param_info) {
+                           return partition::to_string(param_info.param);
                          });
 
 TEST(DistributedDegreeBasic, SingleRankWorld) {

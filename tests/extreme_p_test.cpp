@@ -90,7 +90,9 @@ TEST(ExtremeP, GeneralAlgorithmAtPZero) {
   EXPECT_EQ(graph::count_duplicates(result.edges), 0u);
   EXPECT_EQ(graph::count_self_loops(result.edges), 0u);
   for (const auto& e : result.edges) {
-    if (e.u > cfg.x) EXPECT_LT(e.v, cfg.x) << "all endpoints collapse to the clique";
+    if (e.u > cfg.x) {
+      EXPECT_LT(e.v, cfg.x) << "all endpoints collapse to the clique";
+    }
   }
 }
 

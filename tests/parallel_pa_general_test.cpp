@@ -19,10 +19,10 @@ using partition::Scheme;
 
 using Param = std::tuple<Scheme, int, NodeId>;
 
-std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  return partition::to_string(std::get<0>(info.param)) + "_P" +
-         std::to_string(std::get<1>(info.param)) + "_x" +
-         std::to_string(std::get<2>(info.param));
+std::string param_name(const ::testing::TestParamInfo<Param>& param_info) {
+  return partition::to_string(std::get<0>(param_info.param)) + "_P" +
+         std::to_string(std::get<1>(param_info.param)) + "_x" +
+         std::to_string(std::get<2>(param_info.param));
 }
 
 class ParallelPaGeneral : public ::testing::TestWithParam<Param> {};

@@ -19,9 +19,9 @@ PaConfig base_config() { return {.n = 20000, .x = 1, .p = 0.5, .seed = 42}; }
 
 using Param = std::tuple<Scheme, int>;
 
-std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  return partition::to_string(std::get<0>(info.param)) + "_P" +
-         std::to_string(std::get<1>(info.param));
+std::string param_name(const ::testing::TestParamInfo<Param>& param_info) {
+  return partition::to_string(std::get<0>(param_info.param)) + "_P" +
+         std::to_string(std::get<1>(param_info.param));
 }
 
 class ParallelPaExactness : public ::testing::TestWithParam<Param> {};

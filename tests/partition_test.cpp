@@ -17,10 +17,10 @@ namespace {
 
 using Param = std::tuple<Scheme, NodeId, int>;
 
-std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  return to_string(std::get<0>(info.param)) + "_n" +
-         std::to_string(std::get<1>(info.param)) + "_p" +
-         std::to_string(std::get<2>(info.param));
+std::string param_name(const ::testing::TestParamInfo<Param>& param_info) {
+  return to_string(std::get<0>(param_info.param)) + "_n" +
+         std::to_string(std::get<1>(param_info.param)) + "_p" +
+         std::to_string(std::get<2>(param_info.param));
 }
 
 class PartitionProperties : public ::testing::TestWithParam<Param> {};
@@ -59,7 +59,9 @@ TEST_P(PartitionProperties, NodeAtEnumeratesOwnedNodesAscending) {
       const NodeId u = part->node_at(i, idx);
       ASSERT_LT(u, n);
       EXPECT_EQ(part->owner(u), i);
-      if (idx > 0) EXPECT_GT(u, prev) << "ascending order within a part";
+      if (idx > 0) {
+        EXPECT_GT(u, prev) << "ascending order within a part";
+      }
       prev = u;
       EXPECT_TRUE(seen.insert(u).second) << "node " << u << " duplicated";
     }
@@ -141,7 +143,7 @@ TEST(Factory, SchemeRoundTrip) {
   for (Scheme s : {Scheme::kUcp, Scheme::kLcp, Scheme::kRrp}) {
     EXPECT_EQ(scheme_from_string(to_string(s)), s);
   }
-  EXPECT_THROW(scheme_from_string("bogus"), CheckError);
+  EXPECT_THROW((void)scheme_from_string("bogus"), CheckError);
 }
 
 TEST(Factory, RejectsMoreRanksThanNodes) {

@@ -82,7 +82,7 @@ TEST(CounterRng, RangeInclusive) {
 
 TEST(CounterRng, RangeRejectsInverted) {
   const CounterRng rng(1);
-  EXPECT_THROW(rng.range(5, 4, {0, 0, 0, 0}), CheckError);
+  EXPECT_THROW((void)rng.range(5, 4, {0, 0, 0, 0}), CheckError);
 }
 
 TEST(CounterRng, UniformityChiSquared) {

@@ -29,8 +29,8 @@ TEST(Calibrate, MessageRatioApplied) {
 }
 
 TEST(Calibrate, RejectsDegenerateInput) {
-  EXPECT_THROW(calibrate_cost_model(0.0, 100), CheckError);
-  EXPECT_THROW(calibrate_cost_model(1.0, 0), CheckError);
+  EXPECT_THROW((void)calibrate_cost_model(0.0, 100), CheckError);
+  EXPECT_THROW((void)calibrate_cost_model(1.0, 0), CheckError);
 }
 
 TEST(ModeledTime, SingleRankHasNoCollectiveTerm) {

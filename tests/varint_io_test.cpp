@@ -34,7 +34,7 @@ TEST(Varint, TruncationDetected) {
   put_varint(buf, 1u << 20);
   buf.pop_back();
   std::size_t pos = 0;
-  EXPECT_THROW(get_varint(buf, pos), CheckError);
+  EXPECT_THROW((void)get_varint(buf, pos), CheckError);
 }
 
 TEST(VarintEdges, RoundTripNormalizes) {
