@@ -3,6 +3,7 @@
 //
 //   ./massive_generation --n=5000000 --x=4 --ranks=8 --out=/tmp/edges.bin
 //   ./massive_generation --n=5000000 --sharded=/tmp/edge_store
+//   ./massive_generation --fault-plan=seed=7,drop=0.01 --checkpoint-dir=/tmp/ck
 //
 // Writes the checksummed binary edge format of graph/io.h (text with
 // --format=text, delta-varint compression with --format=varint), or a
@@ -12,6 +13,7 @@
 #include <iostream>
 
 #include "core/generate.h"
+#include "core/robustness_cli.h"
 #include "graph/io.h"
 #include "graph/sharded_io.h"
 #include "graph/varint_io.h"
@@ -21,8 +23,10 @@
 
 int main(int argc, char** argv) {
   using namespace pagen;
-  const Cli cli(argc, argv, {"n", "x", "ranks", "seed", "scheme", "out",
-                             "format", "p", "sharded"});
+  std::vector<std::string> keys{"n",   "x",      "ranks", "seed", "scheme",
+                                "out", "format", "p",     "sharded"};
+  for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
+  const Cli cli(argc, argv, keys);
   if (cli.help()) {
     std::cout << cli.usage("massive_generation") << "\n";
     return 0;
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   const std::string format = cli.get_str("format", "binary");
   opt.gather_edges = !out.empty();
   opt.keep_shards = !sharded.empty();
+  core::apply_robustness_cli(cli, opt);
 
   Timer gen_timer;
   const auto result = core::generate(cfg, opt);
@@ -53,6 +58,10 @@ int main(int argc, char** argv) {
             << fmt_count(static_cast<Count>(
                    static_cast<double>(result.total_edges) / gen_secs))
             << " edges/s\n";
+  if (result.respawns > 0) {
+    std::cout << "recovered from " << result.respawns
+              << " injected crash(es) via respawn\n";
+  }
 
   if (!out.empty()) {
     Timer io_timer;

@@ -3,7 +3,8 @@
 //
 //   ./quickstart [--n=...] [--x=...] [--ranks=...] [--seed=...]
 //                [--trace-out=t.json] [--metrics-out=m.json]
-//                [--trace-sample=N]
+//                [--trace-sample=N] [--fault-plan=SPEC]
+//                [--checkpoint-dir=DIR] [--reliable]
 //
 // With --trace-out the run emits a Chrome trace-event JSON (open it at
 // https://ui.perfetto.dev — one track per rank with generate/drain/
@@ -15,6 +16,7 @@
 
 #include "analysis/powerlaw_fit.h"
 #include "core/generate.h"
+#include "core/robustness_cli.h"
 #include "graph/csr.h"
 #include "obs/session.h"
 #include "util/cli.h"
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   using namespace pagen;
   std::vector<std::string> keys{"n", "x", "ranks", "seed"};
   for (const std::string& k : obs::cli_keys()) keys.push_back(k);
+  for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, keys);
   if (cli.help()) {
     std::cout << cli.usage("quickstart") << "\n";
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
   core::ParallelOptions options;
   options.ranks = static_cast<int>(cli.get_u64("ranks", 4));
   options.scheme = partition::Scheme::kRrp;
+  core::apply_robustness_cli(cli, options);
 
   const obs::Config obs_cfg = obs::config_from_cli(cli);
   std::optional<obs::Session> session;
@@ -57,6 +61,10 @@ int main(int argc, char** argv) {
   std::cout << "generated " << fmt_count(result.total_edges) << " edges over "
             << options.ranks << " ranks in " << fmt_f(timer.seconds(), 2)
             << " s\n";
+  if (result.respawns > 0) {
+    std::cout << "recovered from " << result.respawns
+              << " injected crash(es) via respawn\n";
+  }
 
   // 4. Inspect: the network is connected, simple, and heavy-tailed.
   const graph::CsrGraph g(result.edges, config.n);

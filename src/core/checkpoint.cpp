@@ -1,0 +1,75 @@
+#include "core/checkpoint.h"
+
+#include <filesystem>
+
+#include "graph/varint_io.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+/// "pagnckp1": format magic + version in one varint-framed constant.
+constexpr std::uint64_t kMagic = 0x7061676e636b7031ULL;
+
+/// F entries are biased by one on disk so kNil (all-ones) stays a one-byte
+/// varint instead of ten.
+constexpr std::uint64_t encode_f(NodeId v) { return v == kNil ? 0 : v + 1; }
+constexpr NodeId decode_f(std::uint64_t raw) {
+  return raw == 0 ? kNil : static_cast<NodeId>(raw - 1);
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& dir, Rank rank) {
+  return dir + "/pagen-ckpt-" + std::to_string(rank);
+}
+
+void save_checkpoint(const std::string& dir, const RankCheckpoint& ck) {
+  // Racing create_directories from several rank threads is fine: it only
+  // fails on a real error, not on "already exists".
+  std::filesystem::create_directories(dir);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(16 + ck.f.size() * 2);
+  graph::put_varint(buf, kMagic);
+  graph::put_varint(buf, ck.n);
+  graph::put_varint(buf, ck.x);
+  graph::put_varint(buf, ck.seed);
+  graph::put_varint(buf, static_cast<std::uint64_t>(ck.rank));
+  graph::put_varint(buf, static_cast<std::uint64_t>(ck.nranks));
+  graph::put_varint(buf, ck.f.size());
+  for (const NodeId v : ck.f) graph::put_varint(buf, encode_f(v));
+  graph::put_varint(buf, ck.attempts.size());
+  for (const std::uint32_t a : ck.attempts) graph::put_varint(buf, a);
+  graph::put_varint(buf, ck.locked_copy.size());
+  for (const std::uint8_t l : ck.locked_copy) graph::put_varint(buf, l);
+  graph::save_bytes_atomic(checkpoint_path(dir, ck.rank), buf);
+}
+
+bool load_checkpoint(const std::string& dir, Rank rank, RankCheckpoint& out) {
+  std::vector<std::uint8_t> buf;
+  if (!graph::try_load_bytes(checkpoint_path(dir, rank), buf)) return false;
+  std::size_t pos = 0;
+  PAGEN_CHECK_MSG(graph::get_varint(buf, pos) == kMagic,
+                  "bad checkpoint magic for rank " << rank);
+  out.n = graph::get_varint(buf, pos);
+  out.x = graph::get_varint(buf, pos);
+  out.seed = graph::get_varint(buf, pos);
+  out.rank = static_cast<std::int32_t>(graph::get_varint(buf, pos));
+  out.nranks = static_cast<std::int32_t>(graph::get_varint(buf, pos));
+  PAGEN_CHECK_MSG(out.rank == rank, "checkpoint rank mismatch");
+  out.f.resize(graph::get_varint(buf, pos));
+  for (NodeId& v : out.f) v = decode_f(graph::get_varint(buf, pos));
+  out.attempts.resize(graph::get_varint(buf, pos));
+  for (std::uint32_t& a : out.attempts) {
+    a = static_cast<std::uint32_t>(graph::get_varint(buf, pos));
+  }
+  out.locked_copy.resize(graph::get_varint(buf, pos));
+  for (std::uint8_t& l : out.locked_copy) {
+    l = static_cast<std::uint8_t>(graph::get_varint(buf, pos));
+  }
+  PAGEN_CHECK_MSG(pos == buf.size(),
+                  "trailing bytes in checkpoint for rank " << rank);
+  return true;
+}
+
+}  // namespace pagen::core

@@ -4,9 +4,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "graph/edge_list.h"
+#include "mps/fault.h"
 #include "partition/partition.h"
+#include "util/types.h"
 
 namespace pagen::obs {
 class Session;
@@ -61,8 +64,31 @@ struct ParallelOptions {
   /// and analyze without disk I/O" (Section 3.2) with gather_edges = false
   /// and no edge storage at all. Called concurrently from different rank
   /// threads — the callback must be thread-safe (e.g. write to
-  /// rank-indexed state).
+  /// rank-indexed state). Under a crash plan the sink sees restored edges
+  /// again after a recovery (at-least-once); see docs/robustness.md.
   std::function<void(Rank, const graph::Edge&)> edge_sink;
+
+  // --- Robustness (docs/robustness.md) ---
+
+  /// Deterministic fault script for the mps transport (mps/fault.h). An
+  /// active plan implies `reliable`; a crash entry additionally switches
+  /// the generators into crash-tolerant mode (duplicate resolutions are
+  /// ignored instead of fatal, and outstanding requests are tracked for
+  /// re-offer when a peer respawns).
+  mps::FaultPlan fault_plan;
+
+  /// Route sends through the ack/retransmit/dedup layer even without an
+  /// active fault plan (mps/reliable.h).
+  bool reliable = false;
+
+  /// Directory for per-rank generation checkpoints. Empty (the default)
+  /// disables checkpointing: a crashed rank then replays from scratch,
+  /// which is still correct, just slower. The directory must exist; files
+  /// are named pagen-ckpt-<rank> and overwritten atomically.
+  std::string checkpoint_dir;
+
+  /// Resolutions between checkpoint writes (per rank).
+  Count checkpoint_every = 4096;
 };
 
 }  // namespace pagen::core

@@ -1,8 +1,10 @@
 #include "core/parallel_pa.h"
 
 #include <chrono>
+#include <map>
 
 #include "baseline/pa_draws.h"
+#include "core/checkpoint.h"
 #include "core/pa_messages.h"
 #include "mps/engine.h"
 #include "mps/send_buffer.h"
@@ -35,6 +37,8 @@ class RankX1 {
         req_buf_(comm, kTagRequest, options.buffer_capacity),
         res_buf_(comm, kTagResolved, options.buffer_capacity),
         done_(comm, kTagDone, kTagStop),
+        tolerant_(options.fault_plan.has_crash()),
+        recovering_(comm.incarnation() > 0),
         ob_(comm.obs()) {
     load_.nodes = f_.size();
     edges_.reserve(f_.size());
@@ -47,25 +51,56 @@ class RankX1 {
   }
 
   void run() {
-    comm_.barrier();  // common start line, as mpirun would provide
+    if (!recovering_) {
+      comm_.barrier();  // common start line, as mpirun would provide
+    } else {
+      // Respawned incarnation: the start barrier already completed in a
+      // previous life (sends — where crashes fire — happen only after it),
+      // so joining it again would desynchronize the collective generation.
+      // Restore the durable slice and announce the restart so peers
+      // re-offer whatever they still wait on (our queues died with us).
+      const auto sp = obs::span(ob_, "recover");
+      restore_from_checkpoint();
+      // Count the replay's open slots up front: answers to the previous
+      // incarnation's requests may arrive before the replay loop reaches
+      // their node, and resolve() must always see a consistent count.
+      const Count my_nodes = part_.part_size(comm_.rank());
+      for (Count idx = 0; idx < my_nodes; ++idx) {
+        if (f_[idx] == kNil && part_.node_at(comm_.rank(), idx) != 0) {
+          ++unresolved_;
+        }
+      }
+      for (Rank r = 0; r < comm_.size(); ++r) {
+        if (r != comm_.rank()) comm_.send_item<char>(r, kTagRecover, 0);
+      }
+    }
 
     {
       // Phase 1: process own nodes in ascending label order, pumping
       // messages between batches so requests from other ranks are never
-      // starved.
+      // starved. A recovering rank skips slots its checkpoint restored.
       const auto sp = obs::span(ob_, "generate");
       const Count my_nodes = part_.part_size(comm_.rank());
       for (Count idx = 0; idx < my_nodes; ++idx) {
-        process_own_node(part_.node_at(comm_.rank(), idx));
-        if ((idx + 1) % options_.node_batch == 0) pump(false);
+        if (!(recovering_ && f_[idx] != kNil)) {
+          process_own_node(part_.node_at(comm_.rank(), idx));
+        }
+        if ((idx + 1) % options_.node_batch == 0) {
+          pump(false);
+          maybe_checkpoint(false);
+        }
       }
       req_buf_.flush_all();
+      maybe_checkpoint(true);
     }
 
     {
       // Phase 2: serve and wait until every local F is resolved.
       const auto sp = obs::span(ob_, "drain");
-      while (unresolved_ > 0) pump(true);
+      while (unresolved_ > 0) {
+        pump(true);
+        maybe_checkpoint(false);
+      }
     }
 
     {
@@ -75,6 +110,7 @@ class RankX1 {
       const auto sp = obs::span(ob_, "termination");
       res_buf_.flush_all();
       PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
+      maybe_checkpoint(true);
       done_.notify_local_done();
       while (!done_.stopped()) pump(true);
       res_buf_.flush_all();
@@ -90,7 +126,7 @@ class RankX1 {
  private:
   void process_own_node(NodeId t) {
     if (t == 0) return;  // node 0 has no outgoing choice
-    ++unresolved_;
+    if (!recovering_) ++unresolved_;  // a recovery pre-counts open slots
     if (t == 1) {
       resolve(t, 0);  // bootstrap edge (1, 0)
       return;
@@ -114,6 +150,7 @@ class RankX1 {
     } else {
       req_buf_.add(owner, {t, k});
       ++load_.requests_sent;
+      if (tolerant_) outstanding_.emplace(t, RequestX1{t, k});
       if (ob_ != nullptr) {
         pending_since_[part_.local_index(t)] = now_ns();
       }
@@ -123,10 +160,19 @@ class RankX1 {
   /// F_t := v. Emits the edge and cascades to every waiter of t.
   void resolve(NodeId t, NodeId v) {
     const Count idx = part_.local_index(t);
-    PAGEN_CHECK_MSG(f_[idx] == kNil, "double resolve of node " << t);
+    if (f_[idx] != kNil) {
+      // Crash-tolerant mode: a recovery legitimately produces duplicate
+      // resolutions (a checkpoint-restored slot answered again via
+      // re-offer, or a peer's re-request of a waiter that survived). The
+      // value must agree — draws are pure in (seed, t), so F_t is unique.
+      PAGEN_CHECK_MSG(tolerant_, "double resolve of node " << t);
+      PAGEN_CHECK_MSG(f_[idx] == v, "conflicting resolution of node " << t);
+      return;
+    }
     f_[idx] = v;
     PAGEN_CHECK(unresolved_ > 0);
     --unresolved_;
+    ++resolved_since_ckpt_;
     emit_edge({t, v});
     // Waiters of t have F_{t'} = F_t = v (Lines 16-19).
     for (const Waiter& w : waiters_[idx]) {
@@ -166,7 +212,58 @@ class RankX1 {
         since = -1;
       }
     }
+    if (tolerant_) outstanding_.erase(res.t);
     resolve(res.t, res.v);  // Lines 16-19 (cascade happens inside)
+  }
+
+  /// A peer respawned: every request we still wait on that it owns died
+  /// with its waiter queues, so offer them again. The answers that were
+  /// already in flight arrive as duplicates and are absorbed by the
+  /// tolerant resolve path.
+  void handle_recover(Rank src) {
+    for (const auto& [t, req] : outstanding_) {
+      if (part_.owner(req.k) == src) {
+        req_buf_.add(src, req);
+        ++load_.requests_sent;
+      }
+    }
+    req_buf_.flush(src);
+    done_.on_peer_recover(src);
+    if (ob_ != nullptr) ob_->trace().instant("peer_recover");
+  }
+
+  /// Restore the resolved F slice of a previous incarnation, re-emitting
+  /// its edges (the sink contract is at-least-once under crashes). Nodes
+  /// left kNil are replayed by phase 1 exactly as in the first life.
+  void restore_from_checkpoint() {
+    if (options_.checkpoint_dir.empty()) return;
+    RankCheckpoint ck;
+    if (!load_checkpoint(options_.checkpoint_dir, comm_.rank(), ck)) return;
+    PAGEN_CHECK_MSG(ck.n == config_.n && ck.x == config_.x &&
+                        ck.seed == config_.seed &&
+                        ck.nranks == comm_.size() && ck.f.size() == f_.size(),
+                    "checkpoint does not match this run's parameters");
+    for (Count idx = 0; idx < ck.f.size(); ++idx) {
+      if (ck.f[idx] == kNil) continue;
+      f_[idx] = ck.f[idx];
+      emit_edge({part_.node_at(comm_.rank(), idx), ck.f[idx]});
+    }
+  }
+
+  void maybe_checkpoint(bool force) {
+    if (options_.checkpoint_dir.empty()) return;
+    if (resolved_since_ckpt_ == 0) return;  // nothing new since last write
+    if (!force && resolved_since_ckpt_ < options_.checkpoint_every) return;
+    const auto sp = obs::span(ob_, "checkpoint");
+    RankCheckpoint ck;
+    ck.n = config_.n;
+    ck.x = config_.x;
+    ck.seed = config_.seed;
+    ck.rank = comm_.rank();
+    ck.nranks = comm_.size();
+    ck.f = f_;
+    save_checkpoint(options_.checkpoint_dir, ck);
+    resolved_since_ckpt_ = 0;
   }
 
   /// Drain and process incoming envelopes. Blocking variants sleep briefly
@@ -193,6 +290,8 @@ class RankX1 {
       } else if (env.tag == kTagResolved) {
         mps::for_each_packed<ResolvedX1>(
             env.payload, [&](const ResolvedX1& r) { handle_resolved(r); });
+      } else if (env.tag == kTagRecover) {
+        handle_recover(env.src);
       } else {
         PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
       }
@@ -232,8 +331,15 @@ class RankX1 {
   mps::SendBuffer<RequestX1> req_buf_;
   mps::SendBuffer<ResolvedX1> res_buf_;
   mps::DoneDetector done_;
+  bool tolerant_;    ///< crash plan active: absorb duplicate resolutions
+  bool recovering_;  ///< this Comm is a respawned incarnation
   RankLoad load_;
   Count unresolved_ = 0;
+
+  /// Requests sent but not yet answered, kept only under a crash plan so
+  /// they can be re-offered when their owner respawns (docs/robustness.md).
+  std::map<NodeId, RequestX1> outstanding_;
+  Count resolved_since_ckpt_ = 0;
 
   // Observability (all null / empty when observation is off).
   obs::RankObserver* ob_;
@@ -272,11 +378,15 @@ ParallelResult generate_pa_x1(const PaConfig& config,
   std::vector<std::vector<NodeId>> target_slots(nranks);
   LoadVector load_slots(nranks);
 
+  mps::WorldOptions world_options;
+  world_options.fault_plan = options.fault_plan;
+  world_options.reliable = options.reliable;
+
   mps::RunResult run;
   {
     const auto world_span = obs::span(drv, "run_ranks");
     run = mps::run_ranks(
-        options.ranks,
+        options.ranks, world_options,
         [&](mps::Comm& comm) {
           RankX1 rank(config, options, *part, comm);
           rank.run();
@@ -297,6 +407,7 @@ ParallelResult generate_pa_x1(const PaConfig& config,
   result.loads = std::move(load_slots);
   result.comm_stats = run.rank_stats;
   result.wall_seconds = run.wall_seconds;
+  result.respawns = run.respawns;
   for (const RankLoad& l : result.loads) result.total_edges += l.edges;
 
   if (options.gather_edges) {

@@ -48,6 +48,10 @@ struct ParallelResult {
 
   /// Total edges generated (valid even when not gathered).
   Count total_edges = 0;
+
+  /// Rank incarnations beyond the first (0 unless a crash plan fired and
+  /// the run recovered; docs/robustness.md).
+  Count respawns = 0;
 };
 
 /// Run Algorithm 3.1. Requires config.x == 1 and config.n >= 2, and

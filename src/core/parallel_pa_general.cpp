@@ -1,8 +1,10 @@
 #include "core/parallel_pa_general.h"
 
 #include <chrono>
+#include <map>
 
 #include "baseline/pa_draws.h"
+#include "core/checkpoint.h"
 #include "core/pa_messages.h"
 #include "mps/engine.h"
 #include "mps/send_buffer.h"
@@ -39,6 +41,8 @@ class RankXk {
         req_buf_(comm, kTagRequest, options.buffer_capacity),
         res_buf_(comm, kTagResolved, options.buffer_capacity),
         done_(comm, kTagDone, kTagStop),
+        tolerant_(options.fault_plan.has_crash()),
+        recovering_(comm.incarnation() > 0),
         ob_(comm.obs()) {
     load_.nodes = part.part_size(comm.rank());
     if (ob_ != nullptr) {
@@ -50,27 +54,58 @@ class RankXk {
   }
 
   void run() {
-    comm_.barrier();
+    if (!recovering_) {
+      comm_.barrier();
+    } else {
+      // Respawned incarnation: the start barrier already completed in a
+      // previous life (sends — where crashes fire — happen only after it),
+      // so joining it again would desynchronize the collective generation.
+      // Restore the durable slice and announce the restart so peers
+      // re-offer whatever they still wait on (our queues died with us).
+      const auto sp = obs::span(ob_, "recover");
+      restore_from_checkpoint();
+      // Count the replay's open slots up front: answers to the previous
+      // incarnation's requests may arrive before the replay loop reaches
+      // their node, and assign() must always see a consistent count.
+      const Count my_nodes = part_.part_size(comm_.rank());
+      for (Count idx = 0; idx < my_nodes; ++idx) {
+        if (part_.node_at(comm_.rank(), idx) < x_) continue;  // clique
+        for (std::uint32_t e = 0; e < x_; ++e) {
+          if (f_[idx * x_ + e] == kNil) ++unresolved_;
+        }
+      }
+      for (Rank r = 0; r < comm_.size(); ++r) {
+        if (r != comm_.rank()) comm_.send_item<char>(r, kTagRecover, 0);
+      }
+    }
 
     {
       const auto sp = obs::span(ob_, "generate");
       const Count my_nodes = part_.part_size(comm_.rank());
       for (Count idx = 0; idx < my_nodes; ++idx) {
         process_own_node(part_.node_at(comm_.rank(), idx));
-        if ((idx + 1) % options_.node_batch == 0) pump(false);
+        if ((idx + 1) % options_.node_batch == 0) {
+          pump(false);
+          maybe_checkpoint(false);
+        }
       }
       req_buf_.flush_all();
+      maybe_checkpoint(true);
     }
 
     {
       const auto sp = obs::span(ob_, "drain");
-      while (unresolved_ > 0) pump(true);
+      while (unresolved_ > 0) {
+        pump(true);
+        maybe_checkpoint(false);
+      }
     }
 
     {
       const auto sp = obs::span(ob_, "termination");
       res_buf_.flush_all();
       PAGEN_CHECK(res_buf_.empty());
+      maybe_checkpoint(true);
       done_.notify_local_done();
       while (!done_.stopped()) pump(true);
       res_buf_.flush_all();
@@ -106,13 +141,15 @@ class RankXk {
       // Bootstrap convention (DESIGN.md §5): node x connects to the whole
       // clique, so F_x(e) = e deterministically.
       for (std::uint32_t e = 0; e < x_; ++e) {
-        ++unresolved_;
+        if (recovering_ && f_[slot(t, e)] != kNil) continue;  // restored
+        if (!recovering_) ++unresolved_;  // recovery pre-counts open slots
         assign(t, e, e);
       }
       return;
     }
     for (std::uint32_t e = 0; e < x_; ++e) {
-      ++unresolved_;
+      if (recovering_ && f_[slot(t, e)] != kNil) continue;  // restored
+      if (!recovering_) ++unresolved_;  // recovery pre-counts open slots
       try_edge(t, e);
     }
   }
@@ -138,14 +175,16 @@ class RankXk {
       const auto l = static_cast<std::uint32_t>(draws_.pick_l(t, e, attempt));
       const Rank owner = part_.owner(k);
       if (owner != comm_.rank()) {
-        req_buf_.add(owner, {t, k, e, l});  // Line 14
+        const RequestXk req{t, k, e, l, static_cast<std::uint32_t>(attempt)};
+        req_buf_.add(owner, req);  // Line 14
         ++load_.requests_sent;
+        if (tolerant_) outstanding_[s] = req;
         if (ob_ != nullptr) pending_since_[s] = now_ns();
         return;
       }
       const Count ks = slot(k, l);
       if (f_[ks] == kNil) {
-        waiters_[ks].push_back({t, e, comm_.rank()});  // local Q_{k,l}
+        waiters_[ks].push_back({t, e, comm_.rank(), 0});  // local Q_{k,l}
         ++load_.local_waits;
         note_queue_depth(waiters_[ks].size());
         return;
@@ -169,12 +208,13 @@ class RankXk {
     f_[s] = v;
     PAGEN_CHECK(unresolved_ > 0);
     --unresolved_;
+    ++resolved_since_ckpt_;
     emit_edge({t, v});
     for (const Waiter& w : waiters_[s]) {
       if (w.owner == comm_.rank()) {
         on_resolved(w.t, w.e, v);
       } else {
-        res_buf_.add(w.owner, {w.t, v, w.e});
+        res_buf_.add(w.owner, {w.t, v, w.e, w.round});
         ++load_.resolved_sent;
       }
     }
@@ -185,6 +225,16 @@ class RankXk {
   /// A value arrived for edge (t, e) — either accept it or retry on the
   /// copy path (Lines 21-29).
   void on_resolved(NodeId t, std::uint32_t e, NodeId v) {
+    if (f_[slot(t, e)] != kNil) {
+      // Crash-tolerant mode: a recovery re-offer can answer a slot that an
+      // in-flight first answer already settled. The value must agree —
+      // F_k(l) is unique once resolved, and stale rounds were filtered.
+      PAGEN_CHECK_MSG(tolerant_,
+                      "duplicate resolution of (" << t << "," << e << ")");
+      PAGEN_CHECK_MSG(f_[slot(t, e)] == v,
+                      "conflicting resolution of (" << t << "," << e << ")");
+      return;
+    }
     if (is_duplicate(t, v)) {
       const Count s = slot(t, e);
       locked_copy_[s] = 1;
@@ -201,13 +251,69 @@ class RankXk {
     PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
     const Count ks = slot(req.k, req.l);
     if (f_[ks] != kNil) {
-      res_buf_.add(src, {req.t, f_[ks], req.e});  // Lines 17-18
+      res_buf_.add(src, {req.t, f_[ks], req.e, req.round});  // Lines 17-18
       ++load_.resolved_sent;
     } else {
-      waiters_[ks].push_back({req.t, req.e, src});  // Lines 19-20
+      waiters_[ks].push_back({req.t, req.e, src, req.round});  // Lines 19-20
       ++load_.queued;
       note_queue_depth(waiters_[ks].size());
     }
+  }
+
+  /// A peer respawned: every request we still wait on that it owns died
+  /// with its waiter queues, so offer them again (latest round per slot).
+  /// Stale in-flight answers are filtered by the round echo.
+  void handle_recover(Rank src) {
+    for (const auto& [s, req] : outstanding_) {
+      if (part_.owner(req.k) == src) {
+        req_buf_.add(src, req);
+        ++load_.requests_sent;
+      }
+    }
+    req_buf_.flush(src);
+    done_.on_peer_recover(src);
+    if (ob_ != nullptr) ob_->trace().instant("peer_recover");
+  }
+
+  /// Restore the durable slice of a previous incarnation — resolved slots,
+  /// attempt counters, and copy-path latches — re-emitting the restored
+  /// edges (the sink contract is at-least-once under crashes). Unresolved
+  /// slots replay from their restored attempt, re-drawing identically.
+  void restore_from_checkpoint() {
+    if (options_.checkpoint_dir.empty()) return;
+    RankCheckpoint ck;
+    if (!load_checkpoint(options_.checkpoint_dir, comm_.rank(), ck)) return;
+    PAGEN_CHECK_MSG(ck.n == config_.n && ck.x == config_.x &&
+                        ck.seed == config_.seed &&
+                        ck.nranks == comm_.size() && ck.f.size() == slots_ &&
+                        ck.attempts.size() == slots_ &&
+                        ck.locked_copy.size() == slots_,
+                    "checkpoint does not match this run's parameters");
+    attempts_ = ck.attempts;
+    locked_copy_ = ck.locked_copy;
+    for (Count s = 0; s < slots_; ++s) {
+      if (ck.f[s] == kNil) continue;
+      f_[s] = ck.f[s];
+      emit_edge({part_.node_at(comm_.rank(), s / x_), ck.f[s]});
+    }
+  }
+
+  void maybe_checkpoint(bool force) {
+    if (options_.checkpoint_dir.empty()) return;
+    if (resolved_since_ckpt_ == 0) return;  // nothing new since last write
+    if (!force && resolved_since_ckpt_ < options_.checkpoint_every) return;
+    const auto sp = obs::span(ob_, "checkpoint");
+    RankCheckpoint ck;
+    ck.n = config_.n;
+    ck.x = config_.x;
+    ck.seed = config_.seed;
+    ck.rank = comm_.rank();
+    ck.nranks = comm_.size();
+    ck.f = f_;
+    ck.attempts = attempts_;
+    ck.locked_copy = locked_copy_;
+    save_checkpoint(options_.checkpoint_dir, ck);
+    resolved_since_ckpt_ = 0;
   }
 
   void pump(bool blocking) {
@@ -231,6 +337,14 @@ class RankXk {
         mps::for_each_packed<ResolvedXk>(
             env.payload, [&](const ResolvedXk& r) {
               ++load_.resolved_received;
+              const Count rs = slot(r.t, r.e);
+              if (tolerant_) {
+                // Stale answer to a superseded round: processing it would
+                // bump the attempt counter a second time and desync the
+                // deterministic draw sequence (docs/robustness.md §3).
+                if (r.round != attempts_[rs]) return;
+                outstanding_.erase(rs);
+              }
               if (ob_ != nullptr) {
                 // Chain-resolution latency: request departure → resolution
                 // arrival for this slot (re-stamped on duplicate retries).
@@ -243,6 +357,8 @@ class RankXk {
               }
               on_resolved(r.t, r.e, r.v);
             });
+      } else if (env.tag == kTagRecover) {
+        handle_recover(env.src);
       } else {
         PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
       }
@@ -270,6 +386,7 @@ class RankXk {
     NodeId t;
     std::uint32_t e;
     Rank owner;
+    std::uint32_t round;  ///< request round to echo (remote waiters only)
   };
 
   const PaConfig& config_;
@@ -290,8 +407,15 @@ class RankXk {
   mps::SendBuffer<RequestXk> req_buf_;
   mps::SendBuffer<ResolvedXk> res_buf_;
   mps::DoneDetector done_;
+  bool tolerant_;    ///< crash plan active: absorb duplicate resolutions
+  bool recovering_;  ///< this Comm is a respawned incarnation
   RankLoad load_;
   Count unresolved_ = 0;
+
+  /// Latest unanswered request per slot, kept only under a crash plan so
+  /// it can be re-offered when its owner respawns (docs/robustness.md).
+  std::map<Count, RequestXk> outstanding_;
+  Count resolved_since_ckpt_ = 0;
 
   // Observability (all null / empty when observation is off).
   obs::RankObserver* ob_;
@@ -334,11 +458,15 @@ ParallelResult generate_pa_general(const PaConfig& config,
   std::vector<graph::EdgeList> edge_slots(nranks);
   LoadVector load_slots(nranks);
 
+  mps::WorldOptions world_options;
+  world_options.fault_plan = options.fault_plan;
+  world_options.reliable = options.reliable;
+
   mps::RunResult run;
   {
     const auto world_span = obs::span(drv, "run_ranks");
     run = mps::run_ranks(
-        options.ranks,
+        options.ranks, world_options,
         [&](mps::Comm& comm) {
           RankXk rank(config, options, *part, comm);
           rank.run();
@@ -356,6 +484,7 @@ ParallelResult generate_pa_general(const PaConfig& config,
   result.loads = std::move(load_slots);
   result.comm_stats = run.rank_stats;
   result.wall_seconds = run.wall_seconds;
+  result.respawns = run.respawns;
   for (const RankLoad& l : result.loads) result.total_edges += l.edges;
 
   if (options.gather_edges) {

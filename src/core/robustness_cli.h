@@ -1,0 +1,32 @@
+// Shared --fault-plan / --checkpoint-dir / --reliable wiring for the
+// example and bench binaries (docs/robustness.md). Header-only so binaries
+// that never expose the flags pay nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "mps/fault.h"
+#include "util/cli.h"
+
+namespace pagen::core {
+
+/// Keys understood by apply_robustness_cli; append to a binary's key list.
+inline std::vector<std::string> robustness_cli_keys() {
+  return {"fault-plan", "checkpoint-dir", "reliable"};
+}
+
+/// Apply the robustness flags to `options`:
+///   --fault-plan=SPEC       fault spec (mps::FaultPlan grammar, e.g.
+///                           "seed=7,drop=0.02,crash=3@1000")
+///   --checkpoint-dir=DIR    per-rank checkpoint directory (must exist)
+///   --reliable              ack/retransmit layer even without a fault plan
+inline void apply_robustness_cli(const Cli& cli, ParallelOptions& options) {
+  const std::string spec = cli.get_str("fault-plan", "");
+  if (!spec.empty()) options.fault_plan = mps::FaultPlan::parse(spec);
+  options.checkpoint_dir = cli.get_str("checkpoint-dir", "");
+  options.reliable = cli.get_bool("reliable", options.reliable);
+}
+
+}  // namespace pagen::core

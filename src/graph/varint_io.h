@@ -35,4 +35,17 @@ void write_varint_edges(std::ostream& os, std::span<const Edge> edges);
 void save_varint(const std::string& path, std::span<const Edge> edges);
 [[nodiscard]] EdgeList load_varint(const std::string& path);
 
+/// Write `bytes` to `path` atomically: the data lands in a sibling temp
+/// file first and is renamed into place, so a reader (or a crash mid-write)
+/// never observes a torn file. The crash-consistency primitive of the
+/// checkpoint/restart path (core/checkpoint.h).
+void save_bytes_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Read a whole file into `out`. Returns false (leaving `out` empty) when
+/// the file does not exist or cannot be opened — a missing checkpoint means
+/// "recover from nothing", not an error.
+[[nodiscard]] bool try_load_bytes(const std::string& path,
+                                  std::vector<std::uint8_t>& out);
+
 }  // namespace pagen::graph

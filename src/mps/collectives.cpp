@@ -33,6 +33,37 @@ std::vector<std::vector<std::byte>> CollectiveContext::exchange(
   return published_;
 }
 
+std::vector<std::vector<std::byte>> CollectiveContext::exchange_serviced(
+    Rank rank, std::vector<std::byte> in, std::chrono::milliseconds tick,
+    const std::function<void()>& service) {
+  PAGEN_CHECK(rank >= 0 && rank < nranks_);
+  std::unique_lock lock(mutex_);
+  if (poisoned_) throw WorldAborted();
+  slots_[static_cast<std::size_t>(rank)] = std::move(in);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == nranks_) {
+    published_ = std::move(slots_);
+    slots_.assign(static_cast<std::size_t>(nranks_), {});
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return published_;
+  }
+  for (;;) {
+    if (cv_.wait_for(lock, tick, [&] {
+          return generation_ != my_generation || poisoned_;
+        })) {
+      if (generation_ == my_generation && poisoned_) throw WorldAborted();
+      return published_;
+    }
+    // Round not complete yet: run the service hook unlocked so it can touch
+    // mailboxes and peers without holding up other ranks' arrivals.
+    lock.unlock();
+    service();
+    lock.lock();
+  }
+}
+
 void CollectiveContext::poison() {
   {
     std::lock_guard lock(mutex_);

@@ -1,5 +1,7 @@
 #include "mps/comm.h"
 
+#include <algorithm>
+
 #include "mps/engine.h"
 #include "obs/session.h"
 #include "util/error.h"
@@ -11,6 +13,11 @@ namespace {
 /// Blocking waits shorter than this are not worth a trace event; longer
 /// ones are exactly the stalls Section 3.5's load analysis is after.
 constexpr std::int64_t kWaitSpanThresholdNs = 1'000'000;  // 1 ms
+
+/// Reliable-mode blocking waits are chopped into chunks this long so the
+/// retransmission timers (WorldOptions::rto_base_ms and up) are serviced
+/// while the rank is otherwise blocked on an empty mailbox.
+constexpr std::int64_t kReliableWaitChunkMs = 5;
 
 std::vector<std::byte> encode_u64(std::uint64_t v) {
   std::vector<std::byte> b;
@@ -42,12 +49,21 @@ Comm::Comm(World& world, Rank rank, obs::RankObserver* ob)
     : world_(world), rank_(rank), obs_(ob) {
   PAGEN_CHECK(rank >= 0 && rank < world.size());
   stats_.envelopes_to.assign(static_cast<std::size_t>(world.size()), 0);
+  if (world.reliable()) {
+    reliable_ = std::make_unique<ReliableChannel>(world, rank,
+                                                  world.epoch(rank), stats_);
+  }
 }
 
 int Comm::size() const { return world_.size(); }
 
+std::uint32_t Comm::incarnation() const { return world_.epoch(rank_); }
+
 void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
   PAGEN_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  // Abort fast-fail and the fault script run before any accounting, so a
+  // send that crashes (InjectedCrash) or fast-fails was never counted.
+  world_.precheck_send(rank_);
   stats_.envelopes_sent += 1;
   stats_.bytes_sent += payload.size();
   stats_.envelopes_to[static_cast<std::size_t>(dst)] += 1;
@@ -55,21 +71,37 @@ void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
   if (obs_ != nullptr && obs_->trace().sample_tick()) {
     obs_->trace().instant("send");
   }
+  if (reliable_ != nullptr) {
+    // The channel stamps seq + epoch (in lockstep with the checker's
+    // ledger entry) and owns retransmission until the flow is acked.
+    (void)world_.invariants().on_send(rank_, dst, tag);
+    reliable_->send(dst, tag, std::move(payload));
+    return;
+  }
   const std::uint64_t seq = world_.invariants().on_send(rank_, dst, tag);
   world_.mailbox(dst).push(Envelope{rank_, tag, std::move(payload), seq});
 }
 
 bool Comm::poll(std::vector<Envelope>& out) {
   const std::size_t before = out.size();
-  const bool got = world_.mailbox(rank_).try_drain(out);
+  if (reliable_ == nullptr) {
+    const bool got = world_.mailbox(rank_).try_drain(out);
+    account_received(out, before);
+    return got;
+  }
+  take_stash(out);
+  scratch_.clear();
+  world_.mailbox(rank_).try_drain(scratch_);
+  reliable_->ingest(scratch_, out);
+  reliable_->maybe_retransmit();
   account_received(out, before);
-  return got;
+  return out.size() > before;
 }
 
 bool Comm::poll_wait(std::vector<Envelope>& out,
                      std::chrono::milliseconds timeout) {
   const std::size_t before = out.size();
-  if (obs_ == nullptr) {
+  if (reliable_ == nullptr && obs_ == nullptr) {
     const bool got = wait_drain_checked(out, timeout);
     account_received(out, before);
     return got;
@@ -78,13 +110,46 @@ bool Comm::poll_wait(std::vector<Envelope>& out,
   // "idle_wait" spans — the time a rank spends blocked on an unresolved
   // dependency chain or on peers that have nothing for it yet.
   const std::int64_t start = now_ns();
-  const bool got = wait_drain_checked(out, timeout);
-  const std::int64_t dur = now_ns() - start;
-  if (dur >= kWaitSpanThresholdNs) {
-    obs_->trace().span_at("idle_wait", start, dur);
+  if (reliable_ != nullptr && take_stash(out)) {
+    account_received(out, before);
+    return true;
+  }
+  const bool got = reliable_ != nullptr
+                       ? wait_filtered(out, before, timeout)
+                       : wait_drain_checked(out, timeout);
+  if (obs_ != nullptr) {
+    const std::int64_t dur = now_ns() - start;
+    if (dur >= kWaitSpanThresholdNs) {
+      obs_->trace().span_at("idle_wait", start, dur);
+    }
   }
   account_received(out, before);
   return got;
+}
+
+bool Comm::wait_filtered(std::vector<Envelope>& out, std::size_t before,
+                         std::chrono::milliseconds timeout) {
+  InvariantChecker& inv = world_.invariants();
+  const std::int64_t deadline = now_ns() + timeout.count() * 1'000'000;
+  for (;;) {
+    const std::int64_t remaining_ns = deadline - now_ns();
+    const std::chrono::milliseconds chunk(std::clamp<std::int64_t>(
+        (remaining_ns + 999'999) / 1'000'000, 0, kReliableWaitChunkMs));
+    scratch_.clear();
+    inv.enter_wait(rank_, "poll_wait");
+    (void)world_.mailbox(rank_).wait_drain(scratch_, chunk);
+    reliable_->ingest(scratch_, out);
+    const bool progressed = out.size() > before;
+    inv.leave_wait(rank_, progressed);
+    reliable_->maybe_retransmit();
+    if (progressed) return true;
+    if (now_ns() >= deadline) {
+      // The whole timeout elapsed with nothing deliverable: this is the
+      // deadlock probe's trigger point, same as the unreliable path.
+      inv.on_wait_timeout(rank_);
+      return false;
+    }
+  }
 }
 
 bool Comm::wait_drain_checked(std::vector<Envelope>& out,
@@ -102,13 +167,33 @@ bool Comm::wait_drain_checked(std::vector<Envelope>& out,
 std::size_t Comm::pending() const { return world_.mailbox(rank_).size(); }
 
 void Comm::account_received(std::vector<Envelope>& out, std::size_t before) {
+  // Drain-safe abort: account every data envelope of the batch before an
+  // abort envelope unwinds, so stats and in-flight bookkeeping stay exact
+  // even when the batch mixes real traffic with the engine's wake-up.
+  bool aborted = false;
+  std::size_t keep = before;
   for (std::size_t i = before; i < out.size(); ++i) {
-    if (out[i].tag == kAbortTag) throw WorldAborted();
+    if (out[i].tag == kAbortTag) {
+      aborted = true;
+      continue;
+    }
     world_.invariants().on_receive(rank_, out[i]);
     stats_.envelopes_received += 1;
     stats_.bytes_received += out[i].payload.size();
     stats_.received_by_tag[out[i].tag] += 1;
+    if (keep != i) out[keep] = std::move(out[i]);
+    ++keep;
   }
+  out.resize(keep);
+  if (aborted) throw WorldAborted();
+}
+
+bool Comm::take_stash(std::vector<Envelope>& out) {
+  if (stash_.empty()) return false;
+  out.insert(out.end(), std::make_move_iterator(stash_.begin()),
+             std::make_move_iterator(stash_.end()));
+  stash_.clear();
+  return true;
 }
 
 std::vector<std::vector<std::byte>> Comm::exchange(const char* op,
@@ -118,7 +203,18 @@ std::vector<std::vector<std::byte>> Comm::exchange(const char* op,
   InvariantChecker& inv = world_.invariants();
   inv.enter_wait(rank_, "collective");
   try {
-    auto result = world_.collectives().exchange(rank_, std::move(blob));
+    auto result =
+        reliable_ != nullptr
+            ? world_.collectives().exchange_serviced(
+                  rank_, std::move(blob),
+                  std::chrono::milliseconds(kReliableWaitChunkMs),
+                  [this] {
+                    scratch_.clear();
+                    world_.mailbox(rank_).try_drain(scratch_);
+                    reliable_->ingest(scratch_, stash_);
+                    reliable_->maybe_retransmit();
+                  })
+            : world_.collectives().exchange(rank_, std::move(blob));
     inv.leave_wait(rank_, /*made_progress=*/true);
     return result;
   } catch (...) {

@@ -8,12 +8,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "mps/collectives.h"
 #include "mps/mailbox.h"
 #include "mps/message.h"
+#include "mps/reliable.h"
 #include "mps/stats.h"
 #include "util/types.h"
 
@@ -36,6 +38,11 @@ class Comm {
 
   [[nodiscard]] Rank rank() const { return rank_; }
   [[nodiscard]] int size() const;
+
+  /// This endpoint's incarnation number: 0 on first spawn, bumped each time
+  /// the engine respawns the rank after an injected crash. Rank bodies use
+  /// it to decide between a cold start and checkpoint recovery.
+  [[nodiscard]] std::uint32_t incarnation() const;
 
   /// Send an opaque payload to `dst` (self-send allowed). FIFO per
   /// (src, dst) pair.
@@ -84,7 +91,10 @@ class Comm {
   [[nodiscard]] std::size_t pending() const;
 
  private:
-  /// Count newly drained envelopes; throws WorldAborted on an abort tag.
+  /// Count newly drained envelopes. Drain-safe abort: every data envelope
+  /// in the batch is accounted (stats + invariant in-flight) first, then an
+  /// abort envelope — compacted out of `out` — raises WorldAborted, so the
+  /// unwind never leaves half a batch unledgered.
   void account_received(std::vector<Envelope>& out, std::size_t before);
 
   /// wait_drain bracketed by the invariant checker's wait hooks (debug
@@ -93,8 +103,23 @@ class Comm {
   bool wait_drain_checked(std::vector<Envelope>& out,
                           std::chrono::milliseconds timeout);
 
+  /// Reliable-mode blocking wait: chunked mailbox waits interleaved with
+  /// ingest filtering and retransmit-timer servicing, until a *deliverable*
+  /// envelope arrives or `timeout` expires. A wakeup that dedup filters to
+  /// nothing (only duplicates) does not count as progress.
+  bool wait_filtered(std::vector<Envelope>& out, std::size_t before,
+                     std::chrono::milliseconds timeout);
+
+  /// Move any collective-time deliveries (stash_) into `out`. Returns true
+  /// when anything moved. The caller still owes account_received for them.
+  bool take_stash(std::vector<Envelope>& out);
+
   /// All collectives funnel through here: tallies the stat and wraps the
-  /// rendezvous in a trace span named after the operation.
+  /// rendezvous in a trace span named after the operation. In reliable mode
+  /// the rendezvous is *serviced*: while blocked, the rank keeps ingesting
+  /// (acks, dedup) and firing retransmission timers so peers still polling
+  /// for repaired traffic are never starved by a rank that has moved on to
+  /// a barrier (docs/robustness.md §2).
   std::vector<std::vector<std::byte>> exchange(const char* op,
                                                std::vector<std::byte> blob);
 
@@ -102,6 +127,15 @@ class Comm {
   Rank rank_;
   obs::RankObserver* obs_;
   CommStats stats_;
+  /// Reliability endpoint, present when the World runs in reliable mode.
+  std::unique_ptr<ReliableChannel> reliable_;
+  /// Raw-drain staging buffer for the reliable poll paths.
+  std::vector<Envelope> scratch_;
+  /// Data envelopes delivered while this rank was blocked inside a
+  /// *serviced* collective (exchange_serviced keeps the reliable channel's
+  /// ingest/retransmit loop alive there). Surfaced — and only then counted
+  /// — by the next poll/poll_wait.
+  std::vector<Envelope> stash_;
 };
 
 }  // namespace pagen::mps

@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <thread>
+#include <utility>
 
 #include "obs/session.h"
 #include "util/error.h"
@@ -9,9 +10,21 @@
 
 namespace pagen::mps {
 
-World::World(int nranks)
-    : nranks_(nranks), collectives_(nranks), invariants_(nranks) {
+World::World(int nranks, WorldOptions options)
+    : nranks_(nranks),
+      options_(std::move(options)),
+      collectives_(nranks),
+      invariants_(nranks),
+      epochs_(static_cast<std::size_t>(nranks), 0) {
   PAGEN_CHECK_MSG(nranks >= 1, "world needs at least one rank");
+  PAGEN_CHECK(options_.rto_base_ms > 0 &&
+              options_.rto_max_ms >= options_.rto_base_ms);
+  if (options_.fault_plan.active()) {
+    // Injected faults without the repair layer would just be corruption.
+    options_.reliable = true;
+    injector_ = std::make_unique<FaultInjector>(options_.fault_plan, nranks);
+  }
+  invariants_.set_fault_mode(options_.fault_plan.has_crash());
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -23,12 +36,74 @@ Mailbox& World::mailbox(Rank r) {
   return *mailboxes_[static_cast<std::size_t>(r)];
 }
 
-RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
+std::uint32_t World::epoch(Rank r) const {
+  return epochs_[static_cast<std::size_t>(r)];
+}
+
+void World::bump_epoch(Rank r) { ++epochs_[static_cast<std::size_t>(r)]; }
+
+void World::precheck_send(Rank src) {
+  if (aborted()) throw WorldAborted();
+  if (injector_ != nullptr) injector_->on_send_step(src);
+}
+
+void World::deliver(Rank dst, Envelope env, std::uint32_t attempt,
+                    CommStats& sender_stats) {
+  PAGEN_CHECK(dst >= 0 && dst < nranks_);
+  if (injector_ == nullptr || env.tag < 0) {
+    mailbox(dst).push(std::move(env));
+    return;
+  }
+  const Rank src = env.src;
+  const int tag = env.tag;
+  const FaultAction action =
+      injector_->decide(src, dst, tag, env.seq, attempt, env.epoch);
+  switch (action) {
+    case FaultAction::kDrop:
+      injector_->count_drop();
+      sender_stats.injected_drops += 1;
+      // The envelope was counted in flight on send; it just evaporated.
+      invariants_.on_filtered(src);
+      break;
+    case FaultAction::kDup:
+      injector_->count_dup();
+      sender_stats.injected_dups += 1;
+      invariants_.on_phantom_send(src);
+      mailbox(dst).push(env);
+      mailbox(dst).push(std::move(env));
+      break;
+    case FaultAction::kHold:
+      // Park the envelope; whatever the flow transmits next overtakes it.
+      injector_->count_hold();
+      for (Envelope& prev : injector_->swap_held(src, dst, tag,
+                                                 std::move(env))) {
+        mailbox(dst).push(std::move(prev));
+      }
+      return;
+    case FaultAction::kDeliver:
+      mailbox(dst).push(std::move(env));
+      break;
+  }
+  // Any non-hold transmission (even a drop) on the flow releases a
+  // previously parked envelope *behind* the current one — the reorder.
+  for (Envelope& prev : injector_->take_held(src, dst, tag)) {
+    mailbox(dst).push(std::move(prev));
+  }
+}
+
+void World::deliver_control(Rank dst, Envelope env) {
+  PAGEN_CHECK(dst >= 0 && dst < nranks_);
+  mailbox(dst).push(std::move(env));
+}
+
+RunResult run_ranks(int nranks, WorldOptions options,
+                    const std::function<void(Comm&)>& body,
                     obs::Session* obs) {
-  World world(nranks);
+  World world(nranks, std::move(options));
   RunResult result;
   result.rank_stats.resize(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<int> respawns(static_cast<std::size_t>(nranks), 0);
 
   Timer timer;
   std::vector<std::thread> threads;
@@ -36,31 +111,55 @@ RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       obs::RankObserver* ob = obs != nullptr ? &obs->rank(r) : nullptr;
-      Comm comm(world, r, ob);
-      try {
-        const auto sp = obs::span(ob, "rank");
-        body(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // Unblock peers so the world tears down instead of deadlocking on
-        // the failed rank: wake collectives via poisoning and mailbox
-        // waiters via abort envelopes (poll translates them into
-        // WorldAborted).
-        world.collectives().poison();
-        for (int peer = 0; peer < nranks; ++peer) {
-          if (peer != r) world.mailbox(peer).push(Envelope{r, kAbortTag, {}});
+      bool done = false;
+      while (!done) {
+        // One incarnation per iteration: a fresh Comm (fresh reliability
+        // state under the rank's current epoch) running the same body.
+        Comm comm(world, r, ob);
+        try {
+          const auto sp = obs::span(ob, "rank");
+          body(comm);
+          done = true;
+        } catch (const InjectedCrash&) {
+          if (respawns[static_cast<std::size_t>(r)] <
+              world.options().max_respawns) {
+            respawns[static_cast<std::size_t>(r)] += 1;
+            if (ob != nullptr) ob->trace().instant("respawn");
+            world.invariants().on_rank_restart(r);
+            world.bump_epoch(r);
+            continue;  // respawn: the dead incarnation's stats are dropped
+          }
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          done = true;
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          done = true;
         }
+        if (errors[static_cast<std::size_t>(r)]) {
+          // Unblock peers so the world tears down instead of deadlocking on
+          // the failed rank: fast-fail future sends, wake collectives via
+          // poisoning, and wake mailbox waiters via abort envelopes (poll
+          // translates them into WorldAborted).
+          world.mark_aborted();
+          world.collectives().poison();
+          for (int peer = 0; peer < nranks; ++peer) {
+            if (peer != r) {
+              world.deliver_control(peer, Envelope{r, kAbortTag, {}});
+            }
+          }
+        }
+        result.rank_stats[static_cast<std::size_t>(r)] = comm.stats();
+        if (ob != nullptr) record_metrics(ob->metrics(), comm.stats());
       }
       // Mark the exit only after any abort envelopes are pushed, so the
       // deadlock probe never sees "rank r can't send" while peers still
       // lack their wake-up envelope.
       world.invariants().note_rank_exit(r);
-      result.rank_stats[static_cast<std::size_t>(r)] = comm.stats();
-      if (ob != nullptr) record_metrics(ob->metrics(), comm.stats());
     });
   }
   for (auto& t : threads) t.join();
   result.wall_seconds = timer.seconds();
+  for (const int n : respawns) result.respawns += static_cast<Count>(n);
 
   // Prefer the root-cause exception over secondary WorldAborted failures
   // that other ranks raised while tearing down.
@@ -80,9 +179,15 @@ RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
   if (first) std::rethrow_exception(first);
   // Exception-free world: audit the sent-vs-received ledger. A message that
   // was pushed but never drained means some rank stopped polling too early
-  // (debug builds only; the Release stub inlines to nothing).
+  // (debug builds only; the Release stub inlines to nothing. Skipped for
+  // crash plans, whose replays unbalance the ledger by design).
   world.invariants().verify_termination();
   return result;
+}
+
+RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
+                    obs::Session* obs) {
+  return run_ranks(nranks, WorldOptions{}, body, obs);
 }
 
 }  // namespace pagen::mps

@@ -7,12 +7,15 @@
 // wall-clock but not correctness or the measured load counters.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "mps/collectives.h"
 #include "mps/comm.h"
+#include "mps/fault.h"
 #include "mps/invariant.h"
 #include "mps/mailbox.h"
 #include "mps/stats.h"
@@ -24,41 +27,110 @@ class Session;
 
 namespace pagen::mps {
 
+/// Runtime configuration of one World beyond its rank count. Defaults give
+/// the historical fault-free, best-effort transport.
+struct WorldOptions {
+  /// Deterministic fault script (mps/fault.h). An active plan implies
+  /// `reliable` — injected faults without the repair layer would just be
+  /// corruption.
+  FaultPlan fault_plan;
+
+  /// Route every send through the ack/retransmit/dedup layer
+  /// (mps/reliable.h). Safe — but pointless overhead — without faults.
+  bool reliable = false;
+
+  /// Retransmission timeout base and cap (exponential backoff between
+  /// them). The base should comfortably exceed a poll round-trip.
+  std::int64_t rto_base_ms = 25;
+  std::int64_t rto_max_ms = 400;
+
+  /// How many times a rank that dies of an InjectedCrash is respawned
+  /// before the failure is treated as fatal (aborting the world).
+  int max_respawns = 3;
+};
+
 /// Shared runtime state for one group of ranks. Owns the mailboxes and the
 /// collective rendezvous; ranks access it only through their Comm endpoint.
 class World {
  public:
-  explicit World(int nranks);
+  explicit World(int nranks, WorldOptions options = {});
 
   [[nodiscard]] int size() const { return nranks_; }
   [[nodiscard]] Mailbox& mailbox(Rank r);
   [[nodiscard]] CollectiveContext& collectives() { return collectives_; }
+  [[nodiscard]] const WorldOptions& options() const { return options_; }
+  [[nodiscard]] bool reliable() const { return options_.reliable; }
+
+  /// The fault injector, or null when the plan is inert.
+  [[nodiscard]] FaultInjector* injector() { return injector_.get(); }
 
   /// Debug-build invariant checker (mps/invariant.h). In Release builds
   /// this is the zero-cost stub; call sites need no #ifdef.
   [[nodiscard]] InvariantChecker& invariants() { return invariants_; }
 
+  /// Rank r's incarnation number: 0 until it is respawned after an
+  /// injected crash. Read and written only on r's own thread.
+  [[nodiscard]] std::uint32_t epoch(Rank r) const;
+  void bump_epoch(Rank r);
+
+  /// True once any rank has failed fatally. Comm::send_bytes fast-fails
+  /// with WorldAborted so a send-only loop (never polling, e.g. with full
+  /// send buffers still draining) unwinds instead of talking to the dead.
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  void mark_aborted() { aborted_.store(true, std::memory_order_release); }
+
+  /// Send-path precheck on src's thread: abort fast-fail, then the fault
+  /// script (scripted stall; may throw InjectedCrash at the scripted step).
+  void precheck_send(Rank src);
+
+  /// Deliver one physical envelope to dst's mailbox, subject to fault
+  /// injection (data tags only; `attempt` > 0 marks a retransmission so
+  /// every physical attempt gets an independent injection decision).
+  /// Injection tallies go to `sender_stats`.
+  void deliver(Rank dst, Envelope env, std::uint32_t attempt,
+               CommStats& sender_stats);
+
+  /// Control-path delivery: bypasses injection entirely (acks, aborts).
+  void deliver_control(Rank dst, Envelope env);
+
  private:
   int nranks_;
+  WorldOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CollectiveContext collectives_;
   InvariantChecker invariants_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<std::uint32_t> epochs_;
+  std::atomic<bool> aborted_{false};
 };
 
 /// Result of one Engine::run: per-rank runtime statistics and wall time.
+/// Under a crash plan, `rank_stats` holds the *final* incarnation's counters
+/// (a dead incarnation's half-run would skew the paper's load figures) and
+/// `respawns` totals the recoveries across all ranks.
 struct RunResult {
   std::vector<CommStats> rank_stats;
   double wall_seconds = 0.0;
+  Count respawns = 0;
 };
 
 /// Launch `nranks` threads each executing `body(comm)`. Exceptions thrown by
-/// any rank are captured and the first one rethrown after all threads join.
+/// any rank are captured and the first one rethrown after all threads join —
+/// except InjectedCrash, which respawns the rank (same thread, fresh Comm,
+/// bumped epoch) up to `options.max_respawns` times.
 ///
 /// When `obs` is non-null, every rank records into obs->rank(r): a "rank"
 /// span covering the body, the runtime's send/wait/collective events, and —
 /// after the body returns — its CommStats folded into the rank's metrics
 /// registry. `obs` must outlive the call and have at least `nranks` rank
 /// observers.
+RunResult run_ranks(int nranks, WorldOptions options,
+                    const std::function<void(Comm&)>& body,
+                    obs::Session* obs = nullptr);
+
+/// Fault-free overload (the historical entry point).
 RunResult run_ranks(int nranks, const std::function<void(Comm&)>& body,
                     obs::Session* obs = nullptr);
 

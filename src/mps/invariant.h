@@ -65,13 +65,42 @@ class InvariantChecker {
   explicit InvariantChecker(int nranks);
 
   /// Send-path hook (src's thread). Returns the sequence number to stamp on
-  /// the envelope: per-(src, dst, tag), starting at 0.
+  /// the envelope: per-(src, dst, tag), starting at 0. In reliable mode the
+  /// ReliableChannel stamps the (identical, lockstep) sequence instead and
+  /// this call only feeds the ledger and in-flight accounting.
   std::uint64_t on_send(Rank src, Rank dst, int tag);
+
+  /// A *physical* copy of an already-ledgered logical send entered the
+  /// world: a retransmission or an injected duplicate. Counts toward
+  /// in-flight (the copy sits in a mailbox) but not toward the sequence
+  /// ledger — the matching removal is on_filtered or on_receive.
+  void on_phantom_send(Rank src);
+
+  /// A physical envelope was removed without a logical delivery: dropped by
+  /// the fault injector, or discarded by receiver-side dedup / stale-epoch
+  /// filtering. Balances on_send / on_phantom_send in-flight accounting.
+  void on_filtered(Rank r);
 
   /// Receive-path hook (dst's thread). Asserts the envelope's sequence
   /// number is the next expected one for (src, dst, tag) — the
   /// non-overtaking guarantee — and balances the in-flight accounting.
+  /// Fault-aware: expectations are scoped to the sender's incarnation
+  /// (Envelope::epoch) and reset when a newer one appears, and a restarted
+  /// receiver adopts the first sequence it sees on each flow (its receive
+  /// history died with the crash).
   void on_receive(Rank dst, const Envelope& env);
+
+  /// Rank r is about to be respawned after an injected crash (called on
+  /// r's own thread, between incarnations). Clears r's sequence tables —
+  /// the new incarnation restarts flows at 0 — and switches r to adopt
+  /// mode for inbound flows.
+  void on_rank_restart(Rank r);
+
+  /// Scripted crashes make the global sent-vs-received ledger unbalanced by
+  /// design (a dead incarnation's sends are re-counted by its replay), so
+  /// the engine disables the termination audit for crash plans. Drop / dup
+  /// / reorder plans keep it: retransmission rebalances the ledger.
+  void set_fault_mode(bool skip_termination_audit);
 
   /// Blocking-wait bracket (owner thread). `what` must be a string literal
   /// ("poll_wait" / "collective"); it names the wait in deadlock dumps and
@@ -98,10 +127,22 @@ class InvariantChecker {
   /// Key of a sequence table entry: (peer rank, tag).
   using FlowKey = std::pair<Rank, int>;
 
+  /// Receive-side expectation, scoped to the sender incarnation it was
+  /// built under (see on_receive).
+  struct RecvSeq {
+    std::uint32_t epoch = 0;
+    std::uint64_t expected = 0;
+  };
+
   struct RankState {
     // Owner-thread-only sequence tables (no locks; see header comment).
     std::map<FlowKey, std::uint64_t> next_send_seq;  ///< keyed by (dst, tag)
-    std::map<FlowKey, std::uint64_t> next_recv_seq;  ///< keyed by (src, tag)
+    std::map<FlowKey, RecvSeq> next_recv_seq;        ///< keyed by (src, tag)
+
+    /// This rank was respawned at least once: adopt the first sequence
+    /// seen on unknown inbound flows. Owner-thread only (set between
+    /// incarnations on the same thread that runs on_receive).
+    bool restarted = false;
 
     // Cross-thread wait state, read by the stall probe.
     std::atomic<const char*> wait_kind{nullptr};  ///< null = not blocked
@@ -118,6 +159,8 @@ class InvariantChecker {
   std::atomic<std::int64_t> in_flight_{0};  ///< sent minus received envelopes
   std::atomic<std::uint64_t> activity_{0};  ///< bumps on every send/receive
   std::int64_t stall_threshold_ns_;
+  /// Set once by World's constructor before any rank thread exists.
+  bool skip_termination_audit_ = false;
 };
 
 #else  // !PAGEN_CHECK_INVARIANTS
@@ -128,7 +171,11 @@ class InvariantChecker {
  public:
   explicit InvariantChecker(int /*nranks*/) {}
   std::uint64_t on_send(Rank /*src*/, Rank /*dst*/, int /*tag*/) { return 0; }
+  void on_phantom_send(Rank /*src*/) {}
+  void on_filtered(Rank /*r*/) {}
   void on_receive(Rank /*dst*/, const Envelope& /*env*/) {}
+  void on_rank_restart(Rank /*r*/) {}
+  void set_fault_mode(bool /*skip_termination_audit*/) {}
   void enter_wait(Rank /*r*/, const char* /*what*/) {}
   void leave_wait(Rank /*r*/, bool /*made_progress*/) {}
   void on_wait_timeout(Rank /*r*/) {}

@@ -26,17 +26,37 @@ struct Envelope {
   int tag = 0;
   std::vector<std::byte> payload;
 
-  /// Per-(src, dst, tag) send sequence number, stamped by Comm::send_bytes
-  /// when PAGEN_CHECK_INVARIANTS is on (0 otherwise). The invariant checker
+  /// Per-(src, dst, tag) send sequence number. Stamped by the reliability
+  /// layer (mps/reliable.h) when it is enabled — receiver-side dedup and
+  /// reordering key on it — and otherwise by the invariant checker when
+  /// PAGEN_CHECK_INVARIANTS is on (0 in plain Release builds). The checker
   /// asserts these arrive in order — the non-overtaking delivery guarantee
   /// (mps/invariant.h). Not part of any user protocol.
   std::uint64_t seq = 0;
+
+  /// Sender incarnation number. 0 until the sending rank is respawned after
+  /// an injected crash; each respawn bumps it. Receivers use it to discard
+  /// stale traffic from dead incarnations and to reset per-flow sequence
+  /// expectations (docs/robustness.md).
+  std::uint32_t epoch = 0;
+
+  /// Receiver incarnation this envelope was addressed to, as known by the
+  /// sender when it (re)transmitted (reliable mode only). A restarted
+  /// receiver discards envelopes addressed to its dead incarnation — under
+  /// reordering, arrival order cannot be trusted to resynchronize flow
+  /// sequences, so the stamp is the only sound filter (mps/reliable.h).
+  std::uint32_t dest_epoch = 0;
 };
 
 /// Reserved tag broadcast by the engine when a rank dies: Comm::poll and
 /// poll_wait translate it into a WorldAborted exception so peers blocked on
 /// data traffic unwind instead of deadlocking. Never use for user traffic.
 inline constexpr int kAbortTag = -559038737;  // 0xDEADBEEF as signed
+
+/// Reserved tag of the reliability layer's cumulative acknowledgements
+/// (mps/reliable.h). Consumed inside Comm::poll/poll_wait, never surfaced
+/// to user code, and exempt from fault injection and the invariant ledger.
+inline constexpr int kAckTag = -889275714;  // 0xCAFEBABE as signed
 
 /// Append the bytes of `items` to `out`.
 template <typename T>

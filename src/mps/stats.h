@@ -26,6 +26,18 @@ struct CommStats {
   Count bytes_received = 0;
   Count collectives = 0;
 
+  // Reliability / fault-injection counters (mps/reliable.h, mps/fault.h).
+  // Kept separate from the envelope volumes above: retransmissions, acks
+  // and injected copies are transport artifacts, not algorithm traffic, so
+  // folding them in would inflate the paper's per-processor message-load
+  // figures. All zero in fault-free best-effort runs.
+  Count retransmits = 0;         ///< physical re-sends of unacked envelopes
+  Count acks_sent = 0;           ///< cumulative-ack envelopes emitted
+  Count acks_received = 0;       ///< cumulative-ack envelopes consumed
+  Count duplicates_dropped = 0;  ///< receiver-side dedup / stale-epoch drops
+  Count injected_drops = 0;      ///< envelopes the fault injector discarded
+  Count injected_dups = 0;       ///< extra copies the fault injector created
+
   /// Envelopes sent per destination rank (index = destination). Sized by
   /// Comm to the world size; default-empty when hand-constructed.
   std::vector<Count> envelopes_to;
@@ -43,6 +55,12 @@ struct CommStats {
     bytes_sent += o.bytes_sent;
     bytes_received += o.bytes_received;
     collectives += o.collectives;
+    retransmits += o.retransmits;
+    acks_sent += o.acks_sent;
+    acks_received += o.acks_received;
+    duplicates_dropped += o.duplicates_dropped;
+    injected_drops += o.injected_drops;
+    injected_dups += o.injected_dups;
     if (envelopes_to.size() < o.envelopes_to.size()) {
       envelopes_to.resize(o.envelopes_to.size(), 0);
     }
@@ -69,6 +87,22 @@ inline void record_metrics(obs::MetricsRegistry& reg, const CommStats& s) {
   reg.counter("mps.bytes_sent").add(s.bytes_sent);
   reg.counter("mps.bytes_received").add(s.bytes_received);
   reg.counter("mps.collectives").add(s.collectives);
+  // Reliability counters appear only when the layer did something, so
+  // fault-free metric exports are byte-identical to the pre-fault runtime.
+  if (s.retransmits != 0) reg.counter("mps.retransmits").add(s.retransmits);
+  if (s.acks_sent != 0) reg.counter("mps.acks_sent").add(s.acks_sent);
+  if (s.acks_received != 0) {
+    reg.counter("mps.acks_received").add(s.acks_received);
+  }
+  if (s.duplicates_dropped != 0) {
+    reg.counter("mps.duplicates_dropped").add(s.duplicates_dropped);
+  }
+  if (s.injected_drops != 0) {
+    reg.counter("mps.injected_drops").add(s.injected_drops);
+  }
+  if (s.injected_dups != 0) {
+    reg.counter("mps.injected_dups").add(s.injected_dups);
+  }
   for (std::size_t dst = 0; dst < s.envelopes_to.size(); ++dst) {
     if (s.envelopes_to[dst] == 0) continue;
     reg.counter("mps.envelopes_to." + metric_rank_suffix(dst))

@@ -10,6 +10,8 @@
 // receipt of `stop`.
 #pragma once
 
+#include <vector>
+
 #include "mps/comm.h"
 #include "util/error.h"
 
@@ -22,13 +24,13 @@ class DoneDetector {
   DoneDetector(Comm& comm, int done_tag, int stop_tag)
       : comm_(comm), done_tag_(done_tag), stop_tag_(stop_tag) {}
 
-  /// Report this rank's local completion (call exactly once, after flushing
-  /// all outgoing data buffers).
+  /// Report this rank's local completion (call exactly once per
+  /// incarnation, after flushing all outgoing data buffers).
   void notify_local_done() {
     PAGEN_CHECK_MSG(!notified_, "notify_local_done called twice");
     notified_ = true;
     if (comm_.rank() == 0) {
-      absorb_done();
+      absorb_done(0);
     } else {
       comm_.send_item<char>(0, done_tag_, 0);
     }
@@ -39,7 +41,7 @@ class DoneDetector {
   bool handle(const Envelope& env) {
     if (env.tag == done_tag_) {
       PAGEN_CHECK_MSG(comm_.rank() == 0, "done notice delivered to non-root");
-      absorb_done();
+      absorb_done(env.src);
       return true;
     }
     if (env.tag == stop_tag_) {
@@ -52,8 +54,34 @@ class DoneDetector {
   /// True once the stop broadcast has been received (or sent, on rank 0).
   [[nodiscard]] bool stopped() const { return stopped_; }
 
+  /// True once this rank has reported its own completion.
+  [[nodiscard]] bool notified() const { return notified_; }
+
+  /// A restarted incarnation of `src` announced itself (core recovery
+  /// protocol, kTagRecover). Whatever termination state was addressed to
+  /// the dead incarnation is re-sent: rank 0 repeats `stop` if the run
+  /// already stopped; a non-root rank repeats its own `done` when the
+  /// restarted peer is the root (whose collected counts died with it).
+  /// Duplicates are harmless — `stop` is idempotent and root dedups `done`
+  /// per source.
+  void on_peer_recover(Rank src) {
+    if (comm_.rank() == 0) {
+      if (stopped_) comm_.send_item<char>(src, stop_tag_, 0);
+    } else if (src == 0 && notified_) {
+      comm_.send_item<char>(0, done_tag_, 0);
+    }
+  }
+
  private:
-  void absorb_done() {
+  void absorb_done(Rank src) {
+    // Per-source dedup: after a crash, a replaying rank legitimately
+    // reports done a second time (and peers re-report after a root
+    // restart); only the first report per rank counts toward P.
+    if (done_seen_.empty()) {
+      done_seen_.assign(static_cast<std::size_t>(comm_.size()), false);
+    }
+    if (done_seen_[static_cast<std::size_t>(src)]) return;
+    done_seen_[static_cast<std::size_t>(src)] = true;
     ++dones_;
     PAGEN_CHECK(dones_ <= comm_.size());
     if (dones_ == comm_.size()) {
@@ -68,6 +96,7 @@ class DoneDetector {
   int done_tag_;
   int stop_tag_;
   int dones_ = 0;
+  std::vector<bool> done_seen_;
   bool notified_ = false;
   bool stopped_ = false;
 };

@@ -138,6 +138,15 @@ TEST(Engine, StatsAreSymmetricAcrossTheWorld) {
               r.rank_stats[static_cast<std::size_t>(dst)].envelopes_received)
         << "dst " << dst;
   }
+  // A fault-free best-effort run must leave every robustness counter at
+  // zero — retransmits/acks/dedup are transport artifacts and folding any
+  // of them into the volumes above would skew the paper's load figures.
+  EXPECT_EQ(world.retransmits, 0u);
+  EXPECT_EQ(world.acks_sent, 0u);
+  EXPECT_EQ(world.acks_received, 0u);
+  EXPECT_EQ(world.duplicates_dropped, 0u);
+  EXPECT_EQ(world.injected_drops, 0u);
+  EXPECT_EQ(world.injected_dups, 0u);
 }
 
 TEST(Engine, RankExceptionPropagatesAsRootCause) {
