@@ -4,8 +4,12 @@
 // scaling_model.h.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "baseline/ba_batagelj_brandes.h"
 #include "baseline/copy_model_seq.h"
+#include "core/genrt/protocol.h"
+#include "core/genrt/slot_store.h"
 #include "mps/mailbox.h"
 #include "partition/partition.h"
 #include "rng/counter_rng.h"
@@ -130,6 +134,53 @@ void BM_BatageljBrandesBa(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * 4);
 }
 BENCHMARK(BM_BatageljBrandesBa)->Arg(100000);
+
+// --- Outstanding-request table: node-keyed std::map (the pre-genrt
+// implementation in both PA generators) vs the flat genrt::SlotStore. A
+// 10M-slot resolution storm with a sliding in-flight window models a
+// crash-tolerant rank issuing requests and retiring answers; the store's
+// note_sent / note_answered are O(1) array writes with zero allocation
+// where the map paid an rb-tree insert + erase per request. Recorded in
+// BENCH_genrt.json.
+
+constexpr Count kStormSlots = 10'000'000;
+constexpr Count kStormWindow = 65536;  ///< in-flight requests at any moment
+
+void BM_OutstandingMap(benchmark::State& state) {
+  std::map<Count, core::RequestX1> outstanding;
+  for (auto _ : state) {
+    for (Count s = 0; s < kStormSlots; ++s) {
+      outstanding[s] = {s, s / 2};
+      if (s >= kStormWindow) outstanding.erase(s - kStormWindow);
+    }
+    for (Count s = kStormSlots - kStormWindow; s < kStormSlots; ++s) {
+      outstanding.erase(s);
+    }
+    benchmark::DoNotOptimize(outstanding.empty());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kStormSlots));
+}
+BENCHMARK(BM_OutstandingMap)->Unit(benchmark::kMillisecond);
+
+void BM_OutstandingSlotStore(benchmark::State& state) {
+  core::genrt::SlotStore<core::RequestX1> store(kStormSlots,
+                                                /*track_requests=*/true,
+                                                /*chain_hist=*/nullptr);
+  for (auto _ : state) {
+    for (Count s = 0; s < kStormSlots; ++s) {
+      store.note_sent(s, {s, s / 2});
+      if (s >= kStormWindow) store.note_answered(s - kStormWindow);
+    }
+    for (Count s = kStormSlots - kStormWindow; s < kStormSlots; ++s) {
+      store.note_answered(s);
+    }
+    benchmark::DoNotOptimize(store.outstanding());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kStormSlots));
+}
+BENCHMARK(BM_OutstandingSlotStore)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

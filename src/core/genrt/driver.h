@@ -1,0 +1,354 @@
+// genrt layer 3 — the event-loop driver: the shared rank engine of every
+// request/resolved generator.
+//
+// Algorithms 3.1 and 3.2 differ only in slot bookkeeping and duplicate-edge
+// retry; the message loop around them is one machine. Driver<Policy> owns
+// that machine — the generate → drain → termination phases, per-destination
+// send buffering, the post-batch flush rule, counting termination, the flat
+// slot store, load accounting, observability spans, and the crash-recovery
+// adapter — and delegates the algorithm to a small policy object.
+//
+// A policy plugs in with (see docs/architecture.md for the full contract,
+// parallel_pa.cpp / parallel_pa_general.cpp for the two instances):
+//
+//   using Request / Resolved;         // slot-addressed wire pair (protocol.h)
+//   kFlushRequestsAfterPump;          // true if serving messages can create
+//                                     // fresh requests (duplicate retries)
+//   kHasTargets;                      // expose the value table as targets
+//   static slots_per_node(config);    // 1 for x = 1, x for the general case
+//   Policy(Driver&);                  // holds algorithm state (draws, ...)
+//   process_own_node(t);              // phase-1 work for one owned node
+//   node_has_slots(t);                // false for seed/clique nodes
+//   request_slot / request_waiter / make_resolved / waiter_resolved;
+//   resolved_slot / accept_resolved / apply_resolved / deliver_local;
+//   fill_checkpoint / restore_checkpoint_extras;
+//
+// The driver's state transitions are exactly the rank lifecycle of
+// docs/protocol.md §3; the recovery flow is docs/robustness.md §3.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/pa_config.h"
+#include "core/genrt/protocol.h"
+#include "core/genrt/recovery.h"
+#include "core/genrt/slot_store.h"
+#include "core/load_stats.h"
+#include "core/options.h"
+#include "graph/edge_list.h"
+#include "mps/comm.h"
+#include "mps/message.h"
+#include "mps/send_buffer.h"
+#include "mps/termination.h"
+#include "obs/session.h"
+#include "partition/partition.h"
+#include "util/error.h"
+
+namespace pagen::core::genrt {
+
+/// One parked party waiting for a slot to resolve: either a remote
+/// requester (owner != self; `round` echoes its request) or a local node
+/// whose own slot copies the awaited one (e/round meaningful per policy).
+struct Waiter {
+  NodeId t = 0;
+  std::uint32_t e = 0;
+  Rank owner = 0;
+  std::uint32_t round = 0;
+};
+
+/// Interval a rank sleeps in poll_wait when it has nothing runnable.
+inline constexpr std::chrono::milliseconds kIdleWait{20};
+
+template <typename P>
+  requires SlotMessages<typename P::Request, typename P::Resolved>
+class Driver {
+ public:
+  using Request = typename P::Request;
+  using Resolved = typename P::Resolved;
+
+  Driver(const PaConfig& config, const ParallelOptions& options,
+         const partition::Partition& part, mps::Comm& comm)
+      : config_(config),
+        options_(options),
+        part_(part),
+        comm_(comm),
+        store_edges_(options.gather_edges || options.keep_shards),
+        spn_(P::slots_per_node(config)),
+        tolerant_(options.fault_plan.has_crash()),
+        recovering_(comm.incarnation() > 0),
+        ob_(comm.obs()),
+        chain_hist_(ob_ != nullptr
+                        ? &ob_->metrics().histogram("pa.chain_latency_ns")
+                        : nullptr),
+        slots_(part.part_size(comm.rank()) * spn_, tolerant_, chain_hist_),
+        waiters_(slots_.size()),
+        req_buf_(comm, kTagRequest, options.buffer_capacity),
+        res_buf_(comm, kTagResolved, options.buffer_capacity),
+        done_(comm, kTagDone, kTagStop),
+        recovery_(*this),
+        policy_(*this) {
+    load_.nodes = part.part_size(comm.rank());
+    if (store_edges_) edges_.reserve(slots_.size());
+    if (ob_ != nullptr) {
+      wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
+      mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
+    }
+  }
+
+  /// The full rank lifecycle (docs/protocol.md §3).
+  void run() {
+    if (!recovering_) {
+      comm_.barrier();  // common start line, as mpirun would provide
+    } else {
+      const auto sp = obs::span(ob_, "recover");
+      recovery_.restore_and_announce();
+    }
+
+    {
+      // Phase 1: process own nodes in ascending label order, pumping
+      // messages between batches so requests from other ranks are never
+      // starved. A recovering policy skips slots its checkpoint restored.
+      const auto sp = obs::span(ob_, "generate");
+      const Count my_nodes = part_.part_size(comm_.rank());
+      for (Count idx = 0; idx < my_nodes; ++idx) {
+        policy_.process_own_node(part_.node_at(comm_.rank(), idx));
+        if ((idx + 1) % options_.node_batch == 0) {
+          pump(false);
+          recovery_.maybe_checkpoint(false);
+        }
+      }
+      req_buf_.flush_all();
+      recovery_.maybe_checkpoint(true);
+    }
+
+    {
+      // Phase 2: serve and wait until every local slot is resolved.
+      const auto sp = obs::span(ob_, "drain");
+      while (unresolved_ > 0) {
+        pump(true);
+        recovery_.maybe_checkpoint(false);
+      }
+    }
+
+    {
+      // Phase 3: local completion. All responses we owe so far are flushed
+      // before the done notice; afterwards we keep serving requests (always
+      // flushing responses) until the global stop arrives.
+      const auto sp = obs::span(ob_, "termination");
+      res_buf_.flush_all();
+      PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
+      recovery_.maybe_checkpoint(true);
+      done_.notify_local_done();
+      while (!done_.stopped()) pump(true);
+      res_buf_.flush_all();
+    }
+
+    comm_.barrier();  // nobody tears down while peers might still poll
+  }
+
+  // --- Results (read after run()) ---
+
+  [[nodiscard]] const RankLoad& load() const { return load_; }
+  [[nodiscard]] graph::EdgeList&& take_edges() { return std::move(edges_); }
+  /// The slot-value table (x = 1: the targets row F_t by local index).
+  [[nodiscard]] std::vector<NodeId> take_values() {
+    return slots_.release_values();
+  }
+
+  // --- Facilities for the policy and the recovery adapter ---
+
+  [[nodiscard]] const PaConfig& config() const { return config_; }
+  [[nodiscard]] const ParallelOptions& options() const { return options_; }
+  [[nodiscard]] const partition::Partition& part() const { return part_; }
+  [[nodiscard]] mps::Comm& comm() { return comm_; }
+  [[nodiscard]] Rank rank() const { return comm_.rank(); }
+  [[nodiscard]] bool recovering() const { return recovering_; }
+  [[nodiscard]] bool tolerant() const { return tolerant_; }
+  [[nodiscard]] Count slots_per_node() const { return spn_; }
+  [[nodiscard]] SlotStore<Request>& slots() { return slots_; }
+  [[nodiscard]] P& policy() { return policy_; }
+  [[nodiscard]] mps::DoneDetector& done() { return done_; }
+  [[nodiscard]] obs::RankObserver* obs() const { return ob_; }
+  [[nodiscard]] RankLoad& load() { return load_; }
+
+  /// One more local slot awaits resolution (phase-1 discovery; a recovery
+  /// pre-counts its open slots instead).
+  void add_open_slot() { ++unresolved_; }
+
+  /// Ship `req` for local slot `slot` to `owner`: buffer it, account it,
+  /// and let the slot store remember it (re-offer tracking + latency stamp).
+  void send_request(Rank owner, Count slot, const Request& req) {
+    offer_request(owner, req);
+    slots_.note_sent(slot, req);
+  }
+
+  /// Buffer `req` toward `dst` without touching the slot store (the
+  /// recovery re-offer path: the slot already holds it).
+  void offer_request(Rank dst, const Request& req) {
+    req_buf_.add(dst, req);
+    ++load_.requests_sent;
+  }
+
+  void flush_requests_to(Rank dst) { req_buf_.flush(dst); }
+
+  void send_resolved(Rank dst, const Resolved& res) {
+    res_buf_.add(dst, res);
+    ++load_.resolved_sent;
+  }
+
+  /// Park `w` on `slot` until it resolves (Line 15 / Lines 19-20).
+  void queue_waiter(Count slot, const Waiter& w) {
+    waiters_[slot].push_back(w);
+    if (w.owner == comm_.rank()) {
+      ++load_.local_waits;
+    } else {
+      ++load_.queued;
+    }
+    note_queue_depth(waiters_[slot].size());
+  }
+
+  /// Slot := v. Emits the edge and answers everyone queued on the slot —
+  /// locally through the policy (which may retry a duplicate), remotely
+  /// with a buffered <resolved>.
+  void assign_slot(Count slot, NodeId t, NodeId v) {
+    PAGEN_CHECK_MSG(!slots_.resolved(slot), "double assign of node " << t);
+    slots_.set_value(slot, v);
+    PAGEN_CHECK(unresolved_ > 0);
+    --unresolved_;
+    recovery_.note_resolution();
+    emit_edge({t, v});
+    auto& q = waiters_[slot];
+    for (const Waiter& w : q) {
+      if (w.owner == comm_.rank()) {
+        policy_.deliver_local(w, v);
+      } else {
+        send_resolved(w.owner, policy_.waiter_resolved(w, v));
+      }
+    }
+    q.clear();
+    q.shrink_to_fit();
+  }
+
+  void emit_edge(const graph::Edge& e) {
+    if (store_edges_) edges_.push_back(e);
+    if (options_.edge_sink) options_.edge_sink(comm_.rank(), e);
+    ++load_.edges;
+  }
+
+ private:
+  /// Drain and process incoming envelopes; blocking variants sleep briefly
+  /// when idle. Ends every processed batch with flush_after_batch().
+  void pump(bool blocking) {
+    inbox_.clear();
+    if (ob_ != nullptr) {
+      const auto depth = static_cast<std::int64_t>(comm_.pending());
+      mailbox_gauge_->set(depth);
+      if (ob_->trace().sample_tick()) {
+        ob_->trace().counter("mailbox_depth", depth);
+      }
+    }
+    const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
+                              : comm_.poll(inbox_);
+    if (!got) return;
+    for (const mps::Envelope& env : inbox_) {
+      if (done_.handle(env)) continue;
+      if (env.tag == kTagRequest) {
+        mps::for_each_packed<Request>(
+            env.payload, [&](const Request& r) { handle_request(env.src, r); });
+      } else if (env.tag == kTagResolved) {
+        mps::for_each_packed<Resolved>(
+            env.payload, [&](const Resolved& r) { handle_resolved(r); });
+      } else if (env.tag == kTagRecover) {
+        recovery_.on_peer_recover(env.src);
+      } else {
+        PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
+      }
+    }
+    flush_after_batch();
+  }
+
+  /// THE post-batch flush rule, in one place (both generators used to
+  /// hand-roll it, with drift):
+  ///
+  /// 1. <resolved> buffers are force-flushed after every processed batch —
+  ///    the paper's RRP deadlock-avoidance rule (Section 3.5): under
+  ///    round-robin partitioning every rank still has unprocessed own nodes
+  ///    while serving others, so an answer parked in a partially-full
+  ///    buffer could wait on a sender that is itself blocked waiting for
+  ///    answers — a cycle. Flushing answers eagerly breaks it. The ablation
+  ///    option exists only to measure the rule's cost under CP schemes;
+  ///    once this rank has nothing unresolved the flush is unconditional
+  ///    (it owes the world everything it knows).
+  /// 2. <request> buffers flush only for policies whose message handling
+  ///    can create fresh requests (x >= 1 duplicate retries): in the
+  ///    waiting phases nothing else would flush those, and a parked
+  ///    request is a parked dependency chain.
+  void flush_after_batch() {
+    if (options_.flush_resolved_after_batch || unresolved_ == 0) {
+      res_buf_.flush_all();
+    }
+    if constexpr (P::kFlushRequestsAfterPump) {
+      req_buf_.flush_all();
+    }
+  }
+
+  /// Owner side of <request> (Lines 12-15 / 17-20): answer from the slot
+  /// store or park the requester.
+  void handle_request(Rank src, const Request& req) {
+    ++load_.requests_received;
+    PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
+    const Count s = policy_.request_slot(req);
+    if (slots_.resolved(s)) {
+      send_resolved(src, policy_.make_resolved(req, slots_.value(s)));
+    } else {
+      queue_waiter(s, policy_.request_waiter(req, src));
+    }
+  }
+
+  /// Requester side of <resolved>: filter (stale rounds after a recovery
+  /// re-offer), close the slot-store entry (latency + re-offer bookkeeping),
+  /// then let the policy accept or retry the value.
+  void handle_resolved(const Resolved& res) {
+    ++load_.resolved_received;
+    if (!policy_.accept_resolved(res)) return;
+    slots_.note_answered(policy_.resolved_slot(res));
+    policy_.apply_resolved(res);
+  }
+
+  void note_queue_depth(std::size_t depth) {
+    load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
+    if (wait_depth_hist_ != nullptr) wait_depth_hist_->observe(depth);
+  }
+
+  const PaConfig& config_;
+  const ParallelOptions& options_;
+  const partition::Partition& part_;
+  mps::Comm& comm_;
+  bool store_edges_;
+  Count spn_;        ///< slots per node (1 for x = 1, x for the general case)
+  bool tolerant_;    ///< crash plan active: absorb duplicate resolutions
+  bool recovering_;  ///< this Comm is a respawned incarnation
+
+  // Observability (all null when observation is off).
+  obs::RankObserver* ob_;
+  obs::Histogram* chain_hist_;
+  obs::Histogram* wait_depth_hist_ = nullptr;
+  obs::Gauge* mailbox_gauge_ = nullptr;
+
+  SlotStore<Request> slots_;
+  std::vector<std::vector<Waiter>> waiters_;  ///< Q_{k(,l)} by slot
+  graph::EdgeList edges_;
+  std::vector<mps::Envelope> inbox_;
+  mps::SendBuffer<Request> req_buf_;
+  mps::SendBuffer<Resolved> res_buf_;
+  mps::DoneDetector done_;
+  RankLoad load_;
+  Count unresolved_ = 0;
+  Recovery<Driver> recovery_;
+  P policy_;  ///< constructed last: sees every runtime member initialized
+};
+
+}  // namespace pagen::core::genrt

@@ -1,0 +1,147 @@
+// genrt launch scaffolding: everything between "validated config + options"
+// and "assembled ParallelResult" that is identical for every generator.
+//
+// Two entry points:
+//
+//  * launch<Policy>() — the request/resolved generators (Algorithms 3.1 and
+//    3.2). Builds (or validates) the partition, runs one genrt::Driver<P>
+//    per rank under mps::run_ranks, and assembles edges / shards / loads /
+//    comm stats. When the policy exposes a targets row (P::kHasTargets, the
+//    x = 1 value table) it is scattered back to global node order.
+//
+//  * run_sharded() — the embarrassingly parallel generators (ER, Chung-Lu):
+//    no protocol, just per-rank edge production under the same world
+//    machinery, load accounting, and shard/gather assembly.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baseline/pa_config.h"
+#include "core/genrt/driver.h"
+#include "core/load_stats.h"
+#include "core/options.h"
+#include "core/parallel_pa.h"
+#include "graph/edge_list.h"
+#include "mps/engine.h"
+#include "obs/session.h"
+#include "partition/partition.h"
+#include "util/error.h"
+
+namespace pagen::core::genrt {
+
+/// The session's driver-thread observer, or null when observation is off.
+inline obs::RankObserver* driver_observer(const ParallelOptions& options) {
+  return options.obs != nullptr ? &options.obs->driver() : nullptr;
+}
+
+/// The run's partition: the caller's custom one (validated against
+/// (n, ranks)) or a fresh build of the configured scheme.
+inline std::shared_ptr<const partition::Partition> make_run_partition(
+    NodeId n, const ParallelOptions& options, obs::RankObserver* drv) {
+  std::shared_ptr<const partition::Partition> part = options.custom_partition;
+  if (part) {
+    PAGEN_CHECK_MSG(
+        part->num_nodes() == n && part->num_parts() == options.ranks,
+        "custom partition does not match (n, ranks)");
+  } else {
+    const auto sp = obs::span(drv, "partition_build");
+    part = partition::make_partition(options.scheme, n, options.ranks);
+  }
+  return part;
+}
+
+/// Run one Driver<P> per rank and assemble the result. The caller has
+/// already validated config and options (the checks differ per algorithm).
+template <typename P>
+ParallelResult launch(const PaConfig& config, const ParallelOptions& options) {
+  obs::RankObserver* drv = driver_observer(options);
+  const auto part = make_run_partition(config.n, options, drv);
+
+  const auto nranks = static_cast<std::size_t>(options.ranks);
+  std::vector<graph::EdgeList> edge_slots(nranks);
+  std::vector<std::vector<NodeId>> value_slots(nranks);
+  LoadVector load_slots(nranks);
+
+  mps::WorldOptions world_options;
+  world_options.fault_plan = options.fault_plan;
+  world_options.reliable = options.reliable;
+
+  mps::RunResult run;
+  {
+    const auto world_span = obs::span(drv, "run_ranks");
+    run = mps::run_ranks(
+        options.ranks, world_options,
+        [&](mps::Comm& comm) {
+          Driver<P> rank(config, options, *part, comm);
+          rank.run();
+          const auto slot = static_cast<std::size_t>(comm.rank());
+          load_slots[slot] = rank.load();
+          if (auto* ob = comm.obs()) record_metrics(ob->metrics(), rank.load());
+          if (options.gather_edges || options.keep_shards) {
+            edge_slots[slot] = rank.take_edges();
+          }
+          if constexpr (P::kHasTargets) {
+            if (options.gather_edges) value_slots[slot] = rank.take_values();
+          }
+        },
+        options.obs);
+  }
+
+  ParallelResult result;
+  result.loads = std::move(load_slots);
+  result.comm_stats = run.rank_stats;
+  result.wall_seconds = run.wall_seconds;
+  result.respawns = run.respawns;
+  for (const RankLoad& l : result.loads) result.total_edges += l.edges;
+
+  if (options.gather_edges) {
+    result.edges.reserve(result.total_edges);
+    for (auto& slot : edge_slots) {
+      result.edges.insert(result.edges.end(), slot.begin(), slot.end());
+      if (!options.keep_shards) slot.clear();
+    }
+    if constexpr (P::kHasTargets) {
+      // Scatter each rank's value row back to global node order.
+      result.targets.assign(config.n, kNil);
+      for (Rank r = 0; r < options.ranks; ++r) {
+        const auto& slot = value_slots[static_cast<std::size_t>(r)];
+        for (Count idx = 0; idx < slot.size(); ++idx) {
+          result.targets[part->node_at(r, idx)] = slot[idx];
+        }
+      }
+    }
+  }
+  if (options.keep_shards) result.shards = std::move(edge_slots);
+  return result;
+}
+
+/// Shared scaffolding for generators with no cross-rank protocol (ER,
+/// Chung-Lu): run `body(comm, shard)` per rank under the same world
+/// machinery (one trailing barrier so wall_seconds covers all ranks'
+/// generation), then total, and optionally gather, the shards. `Result`
+/// needs members {edges, shards, total_edges, wall_seconds}; shards are
+/// always kept (these generators are sharded by construction).
+template <typename Result, typename Body>
+Result run_sharded(int ranks, bool gather, Body&& body) {
+  Result result;
+  result.shards.resize(static_cast<std::size_t>(ranks));
+
+  const mps::RunResult run = mps::run_ranks(ranks, [&](mps::Comm& comm) {
+    body(comm, result.shards[static_cast<std::size_t>(comm.rank())]);
+    comm.barrier();
+  });
+
+  result.wall_seconds = run.wall_seconds;
+  for (const auto& shard : result.shards) result.total_edges += shard.size();
+  if (gather) {
+    result.edges.reserve(result.total_edges);
+    for (const auto& shard : result.shards) {
+      result.edges.insert(result.edges.end(), shard.begin(), shard.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace pagen::core::genrt

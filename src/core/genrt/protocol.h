@@ -1,0 +1,94 @@
+// genrt layer 1 — the protocol: tags and slot-addressed messages.
+//
+// The generation protocol of Algorithms 3.1 and 3.2 is one conversation
+// shape: a requester that cannot resolve a local *slot* (an attachment
+// choice F_t(e)) sends a <request> to the owner of the node it copies from,
+// and eventually receives a <resolved> carrying the value. Everything else —
+// per-destination batching, the flush rules, termination, recovery — is
+// independent of what precisely a slot is. The genrt runtime therefore
+// treats messages through the *slot-addressed message concept*:
+//
+//  * `Request` names the requester's slot (via fields `t` and, for x > 1,
+//    `e`) and the owner-side slot it reads (via `k` and, for x > 1, `l`).
+//    The runtime routes it with `partition.owner(req.k)` and re-offers it
+//    verbatim when that owner respawns, so `k` is the one field the runtime
+//    itself reads.
+//  * `Resolved` echoes the requester's slot plus the value `v`. The policy
+//    maps it back to a slot index (`resolved_slot`) and decides acceptance
+//    (`accept_resolved` filters stale rounds after a crash re-offer).
+//
+// The concrete x = 1 and x >= 1 wire structs below are exactly the paper's
+// message contents (docs/protocol.md §2); the runtime never inspects the
+// x-specific fields.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/types.h"
+
+namespace pagen::core {
+
+// Tag space of the generation protocol (shared by every genrt policy).
+inline constexpr int kTagRequest = 1;   ///< <request, ...>
+inline constexpr int kTagResolved = 2;  ///< <resolved, ...>
+inline constexpr int kTagDone = 3;      ///< rank -> 0 local-completion notice
+inline constexpr int kTagStop = 4;      ///< 0 -> all stop broadcast
+inline constexpr int kTagRecover = 5;   ///< restarted incarnation -> all:
+                                        ///< "my queues died; re-offer what
+                                        ///< you still wait on" (robustness)
+
+/// Algorithm 3.1 <request, t, k>: "tell me F_k so I can set F_t".
+struct RequestX1 {
+  NodeId t = 0;
+  NodeId k = 0;
+};
+
+/// Algorithm 3.1 <resolved, t, v>: "F_t = v".
+struct ResolvedX1 {
+  NodeId t = 0;
+  NodeId v = 0;
+};
+
+/// Algorithm 3.2 <request, t, e, k, l>: "tell me F_k(l) for t's e-th edge".
+/// `round` echoes the requester's per-slot attempt counter at issue time;
+/// the owner copies it into the response so the requester can discard stale
+/// answers after a crash recovery re-offers requests (the answer value is a
+/// pure function of (t, e, round), so duplicates are otherwise ambiguous —
+/// docs/robustness.md). pad keeps the struct trivially packed at 32 bytes.
+struct RequestXk {
+  NodeId t = 0;
+  NodeId k = 0;
+  std::uint32_t e = 0;
+  std::uint32_t l = 0;
+  std::uint32_t round = 0;
+  std::uint32_t pad = 0;
+};
+
+/// Algorithm 3.2 <resolved, t, e, v>. `round` echoes the request's (see
+/// RequestXk); the struct stays trivially packed at 24 bytes.
+struct ResolvedXk {
+  NodeId t = 0;
+  NodeId v = 0;
+  std::uint32_t e = 0;
+  std::uint32_t round = 0;
+};
+
+namespace genrt {
+
+/// Wire requirements the runtime places on a policy's message pair: both
+/// trivially copyable (they travel through mps::pack/unpack) and the request
+/// naming the owner-side node `k` the runtime routes and re-offers by.
+template <typename Req, typename Res>
+concept SlotMessages =
+    std::is_trivially_copyable_v<Req> && std::is_trivially_copyable_v<Res> &&
+    requires(const Req& req) {
+      { req.k } -> std::convertible_to<NodeId>;
+    };
+
+static_assert(SlotMessages<RequestX1, ResolvedX1>);
+static_assert(SlotMessages<RequestXk, ResolvedXk>);
+
+}  // namespace genrt
+}  // namespace pagen::core

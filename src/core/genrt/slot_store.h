@@ -1,0 +1,131 @@
+// genrt layer 2 — the slot store: one flat, slot-indexed table of a rank's
+// attachment state.
+//
+// A *slot* is one attachment choice this rank owns: for x = 1 the local node
+// index itself, for x >= 1 `local_index(t) * x + e`. Slot indices are dense
+// and bounded by `part_size * x`, so every per-slot concern lives in flat
+// vectors indexed by slot instead of node-keyed trees:
+//
+//  * `values_` — the resolved F values (kNil = still unresolved);
+//  * `requests_` / `open_` — the in-flight remote request per slot, kept
+//    only under a crash plan so it can be re-offered when its owner
+//    respawns. This replaces the old hot-path
+//    `std::map<NodeId, RequestX1>` / `std::map<Count, RequestXk>`
+//    `outstanding_` maps of the two generators: note_sent / note_answered
+//    are O(1) array writes with zero allocation instead of rb-tree
+//    insert/erase (bench/micro_components.cpp, BM_Outstanding*).
+//  * `pending_since_` — the request-departure stamps behind the
+//    pa.chain_latency_ns histogram (the wait Theorem 3.3 bounds by
+//    O(log n) hops). The store owns the stamping rule, so it is uniform
+//    across policies by construction: stamped on every note_sent and
+//    observed on the first accepted answer, exactly when a chain-latency
+//    histogram is attached (observation off keeps the hot path bare).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/timer.h"
+#include "util/types.h"
+
+namespace pagen::core::genrt {
+
+template <typename Request>
+class SlotStore {
+ public:
+  /// @param slots        number of local slots (part_size * x).
+  /// @param track_requests keep the outstanding Request per slot for crash
+  ///   re-offer (crash-tolerant runs only; costs slots * sizeof(Request)).
+  /// @param chain_hist   chain-resolution latency histogram, or null to
+  ///   disable stamping entirely.
+  SlotStore(Count slots, bool track_requests, obs::Histogram* chain_hist)
+      : values_(slots, kNil), chain_hist_(chain_hist) {
+    if (track_requests) {
+      requests_.assign(slots, Request{});
+      open_.assign(slots, 0);
+    }
+    if (chain_hist_ != nullptr) pending_since_.assign(slots, -1);
+  }
+
+  [[nodiscard]] Count size() const { return values_.size(); }
+
+  [[nodiscard]] bool resolved(Count slot) const {
+    return values_[slot] != kNil;
+  }
+  [[nodiscard]] NodeId value(Count slot) const { return values_[slot]; }
+
+  void set_value(Count slot, NodeId v) {
+    PAGEN_DCHECK(v != kNil);
+    values_[slot] = v;
+  }
+
+  /// The whole value table, slot-indexed — the checkpointed F slice and the
+  /// x = 1 targets row.
+  [[nodiscard]] const std::vector<NodeId>& values() const { return values_; }
+
+  /// Move the value table out (end of run; the store is spent afterwards).
+  [[nodiscard]] std::vector<NodeId> release_values() {
+    return std::move(values_);
+  }
+
+  /// A <request> for `slot` left this rank: remember it for re-offer (when
+  /// tracking) and stamp the latency clock (when observing). A re-send after
+  /// a duplicate retry overwrites — only the latest round is re-offered, and
+  /// the latency clock restarts with it.
+  void note_sent(Count slot, const Request& req) {
+    if (!requests_.empty()) {
+      if (open_[slot] == 0) {
+        open_[slot] = 1;
+        ++outstanding_;
+      }
+      requests_[slot] = req;
+    }
+    if (chain_hist_ != nullptr) pending_since_[slot] = now_ns();
+  }
+
+  /// The answer for `slot` arrived and was accepted: observe the chain
+  /// latency (first answer only) and close the outstanding entry.
+  void note_answered(Count slot) {
+    if (chain_hist_ != nullptr) {
+      std::int64_t& since = pending_since_[slot];
+      if (since >= 0) {
+        chain_hist_->observe(static_cast<std::uint64_t>(now_ns() - since));
+        since = -1;
+      }
+    }
+    if (!open_.empty() && open_[slot] != 0) {
+      open_[slot] = 0;
+      PAGEN_DCHECK(outstanding_ > 0);
+      --outstanding_;
+    }
+  }
+
+  /// In-flight remote requests (0 unless tracking is on).
+  [[nodiscard]] Count outstanding() const { return outstanding_; }
+
+  /// Visit every outstanding request in slot order (ascending — for x = 1
+  /// that is ascending node label, matching the old map iteration). Rare
+  /// path: only the kTagRecover re-offer walks this.
+  template <typename Fn>
+  void for_each_outstanding(Fn&& fn) const {
+    Count seen = 0;
+    for (Count s = 0; s < open_.size() && seen < outstanding_; ++s) {
+      if (open_[s] != 0) {
+        ++seen;
+        fn(s, requests_[s]);
+      }
+    }
+  }
+
+ private:
+  std::vector<NodeId> values_;        ///< F by slot; kNil = unresolved
+  std::vector<Request> requests_;     ///< in-flight request by slot (tracking)
+  std::vector<std::uint8_t> open_;    ///< 1 = requests_[s] is in flight
+  Count outstanding_ = 0;
+  obs::Histogram* chain_hist_;
+  std::vector<std::int64_t> pending_since_;  ///< request departure, by slot
+};
+
+}  // namespace pagen::core::genrt

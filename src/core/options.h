@@ -38,8 +38,9 @@ struct ParallelOptions {
   std::size_t node_batch = 1024;
 
   /// Force-flush resolved buffers after processing every received batch —
-  /// the paper's deadlock-avoidance rule for RRP. Always safe; switchable
-  /// only so the ablation bench can quantify its cost under CP schemes.
+  /// the paper's deadlock-avoidance rule for RRP, applied in one place:
+  /// genrt::Driver::flush_after_batch(). Always safe; switchable only so
+  /// the ablation bench can quantify its cost under CP schemes.
   bool flush_resolved_after_batch = true;
 
   /// Collect the generated edges into one EdgeList on return. Disable for

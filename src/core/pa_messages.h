@@ -1,55 +1,9 @@
 // Wire formats of the distributed PA algorithms (Algorithms 3.1 and 3.2).
+//
+// The definitions moved to core/genrt/protocol.h when the shared generator
+// runtime was extracted (docs/architecture.md); this forwarding header keeps
+// the historical include path working for code that only needs the message
+// structs and tags.
 #pragma once
 
-#include <cstdint>
-
-#include "util/types.h"
-
-namespace pagen::core {
-
-// Tag space of the generation protocol.
-inline constexpr int kTagRequest = 1;   ///< <request, ...>
-inline constexpr int kTagResolved = 2;  ///< <resolved, ...>
-inline constexpr int kTagDone = 3;      ///< rank -> 0 local-completion notice
-inline constexpr int kTagStop = 4;      ///< 0 -> all stop broadcast
-inline constexpr int kTagRecover = 5;   ///< restarted incarnation -> all:
-                                        ///< "my queues died; re-offer what
-                                        ///< you still wait on" (robustness)
-
-/// Algorithm 3.1 <request, t, k>: "tell me F_k so I can set F_t".
-struct RequestX1 {
-  NodeId t = 0;
-  NodeId k = 0;
-};
-
-/// Algorithm 3.1 <resolved, t, v>: "F_t = v".
-struct ResolvedX1 {
-  NodeId t = 0;
-  NodeId v = 0;
-};
-
-/// Algorithm 3.2 <request, t, e, k, l>: "tell me F_k(l) for t's e-th edge".
-/// `round` echoes the requester's per-slot attempt counter at issue time;
-/// the owner copies it into the response so the requester can discard stale
-/// answers after a crash recovery re-offers requests (the answer value is a
-/// pure function of (t, e, round), so duplicates are otherwise ambiguous —
-/// docs/robustness.md). pad keeps the struct trivially packed at 32 bytes.
-struct RequestXk {
-  NodeId t = 0;
-  NodeId k = 0;
-  std::uint32_t e = 0;
-  std::uint32_t l = 0;
-  std::uint32_t round = 0;
-  std::uint32_t pad = 0;
-};
-
-/// Algorithm 3.2 <resolved, t, e, v>. `round` echoes the request's (see
-/// RequestXk); the struct stays trivially packed at 24 bytes.
-struct ResolvedXk {
-  NodeId t = 0;
-  NodeId v = 0;
-  std::uint32_t e = 0;
-  std::uint32_t round = 0;
-};
-
-}  // namespace pagen::core
+#include "core/genrt/protocol.h"  // IWYU pragma: export

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "mps/engine.h"
+#include "core/genrt/launch.h"
 #include "rng/splitmix.h"
 #include "rng/xoshiro.h"
 #include "util/error.h"
@@ -24,48 +24,36 @@ ParallelClResult generate_cl(const baseline::ClConfig& config, int ranks,
       std::accumulate(config.weights.begin(), config.weights.end(), 0.0);
   PAGEN_CHECK_MSG(total > 0.0, "all weights zero");
 
-  ParallelClResult result;
-  result.shards.resize(static_cast<std::size_t>(ranks));
-
-  const mps::RunResult run = mps::run_ranks(ranks, [&](mps::Comm& comm) {
-    const auto me = static_cast<std::size_t>(comm.rank());
-    auto& shard = result.shards[me];
-    const auto& w = config.weights;
-    // Round-robin over rows; per-row stream derived from (seed, row) so the
-    // output is independent of the rank count.
-    for (std::size_t i = me; i + 1 < n; i += static_cast<std::size_t>(ranks)) {
-      if (w[i] == 0.0) break;  // sorted: all later rows are zero too
-      rng::Xoshiro256pp rng(
-          rng::splitmix64_mix(config.seed ^ (0xc2b2ae3d27d4eb4fULL * (i + 1))));
-      std::size_t j = i + 1;
-      double p = std::min(1.0, w[i] * w[j] / total);
-      while (j < n && p > 0.0) {
-        if (p < 1.0) {
-          const double r = rng.unit();
-          j += static_cast<std::size_t>(std::log1p(-r) / std::log1p(-p));
-        }
-        if (j < n) {
-          const double q = std::min(1.0, w[i] * w[j] / total);
-          if (rng.unit() < q / p) {
-            shard.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j)});
+  return genrt::run_sharded<ParallelClResult>(
+      ranks, gather, [&](mps::Comm& comm, graph::EdgeList& shard) {
+        const auto me = static_cast<std::size_t>(comm.rank());
+        const auto& w = config.weights;
+        // Round-robin over rows; per-row stream derived from (seed, row) so
+        // the output is independent of the rank count.
+        for (std::size_t i = me; i + 1 < n;
+             i += static_cast<std::size_t>(ranks)) {
+          if (w[i] == 0.0) break;  // sorted: all later rows are zero too
+          rng::Xoshiro256pp rng(rng::splitmix64_mix(
+              config.seed ^ (0xc2b2ae3d27d4eb4fULL * (i + 1))));
+          std::size_t j = i + 1;
+          double p = std::min(1.0, w[i] * w[j] / total);
+          while (j < n && p > 0.0) {
+            if (p < 1.0) {
+              const double r = rng.unit();
+              j += static_cast<std::size_t>(std::log1p(-r) / std::log1p(-p));
+            }
+            if (j < n) {
+              const double q = std::min(1.0, w[i] * w[j] / total);
+              if (rng.unit() < q / p) {
+                shard.push_back(
+                    {static_cast<NodeId>(i), static_cast<NodeId>(j)});
+              }
+              p = q;
+              ++j;
+            }
           }
-          p = q;
-          ++j;
         }
-      }
-    }
-    comm.barrier();
-  });
-
-  result.wall_seconds = run.wall_seconds;
-  for (const auto& shard : result.shards) result.total_edges += shard.size();
-  if (gather) {
-    result.edges.reserve(result.total_edges);
-    for (const auto& shard : result.shards) {
-      result.edges.insert(result.edges.end(), shard.begin(), shard.end());
-    }
-  }
-  return result;
+      });
 }
 
 }  // namespace pagen::core

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "mps/engine.h"
+#include "core/genrt/launch.h"
 #include "rng/splitmix.h"
 #include "rng/xoshiro.h"
 #include "util/error.h"
@@ -25,29 +25,25 @@ ParallelErResult generate_er(const baseline::ErConfig& config, int ranks,
                              bool gather) {
   PAGEN_CHECK(ranks >= 1);
   PAGEN_CHECK(config.p >= 0.0 && config.p <= 1.0);
-  const Count total_pairs =
-      config.n < 2 ? 0 : config.n * (config.n - 1) / 2;
+  const Count total_pairs = config.n < 2 ? 0 : config.n * (config.n - 1) / 2;
 
-  const auto nranks = static_cast<std::size_t>(ranks);
-  ParallelErResult result;
-  result.shards.resize(nranks);
+  return genrt::run_sharded<ParallelErResult>(
+      ranks, gather, [&](mps::Comm& comm, graph::EdgeList& shard) {
+        const auto r = static_cast<Count>(comm.rank());
+        const Count begin = total_pairs * r / static_cast<Count>(ranks);
+        const Count end = total_pairs * (r + 1) / static_cast<Count>(ranks);
+        if (config.p <= 0.0 || begin >= end) return;
 
-  const mps::RunResult run = mps::run_ranks(ranks, [&](mps::Comm& comm) {
-    const auto r = static_cast<Count>(comm.rank());
-    const Count begin = total_pairs * r / static_cast<Count>(ranks);
-    const Count end = total_pairs * (r + 1) / static_cast<Count>(ranks);
-    auto& shard = result.shards[static_cast<std::size_t>(comm.rank())];
-
-    if (config.p > 0.0 && begin < end) {
-      if (config.p >= 1.0) {
-        shard.reserve(end - begin);
-        for (Count idx = begin; idx < end; ++idx) {
-          shard.push_back(pair_from_index(idx));
+        if (config.p >= 1.0) {
+          shard.reserve(end - begin);
+          for (Count idx = begin; idx < end; ++idx) {
+            shard.push_back(pair_from_index(idx));
+          }
+          return;
         }
-      } else {
         // Private stream per (seed, rank): mix the rank into the seed.
-        rng::Xoshiro256pp rng(
-            rng::splitmix64_mix(config.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1))));
+        rng::Xoshiro256pp rng(rng::splitmix64_mix(
+            config.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1))));
         const double log_q = std::log(1.0 - config.p);
         // Positions are linear pair indices; walk by geometric skips.
         Count pos = begin;
@@ -63,22 +59,7 @@ ParallelErResult generate_er(const baseline::ErConfig& config, int ranks,
           if (pos >= end) break;
           shard.push_back(pair_from_index(pos));
         }
-      }
-    }
-    // One collective so every run exercises the runtime's start/stop path
-    // and wall_seconds covers all ranks' generation.
-    comm.barrier();
-  });
-
-  result.wall_seconds = run.wall_seconds;
-  for (const auto& shard : result.shards) result.total_edges += shard.size();
-  if (gather) {
-    result.edges.reserve(result.total_edges);
-    for (const auto& shard : result.shards) {
-      result.edges.insert(result.edges.end(), shard.begin(), shard.end());
-    }
-  }
-  return result;
+      });
 }
 
 }  // namespace pagen::core

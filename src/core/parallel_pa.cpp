@@ -1,132 +1,41 @@
 #include "core/parallel_pa.h"
 
-#include <chrono>
-#include <map>
-
 #include "baseline/pa_draws.h"
-#include "core/checkpoint.h"
+#include "core/genrt/driver.h"
+#include "core/genrt/launch.h"
 #include "core/pa_messages.h"
-#include "mps/engine.h"
-#include "mps/send_buffer.h"
-#include "mps/termination.h"
-#include "obs/session.h"
 #include "util/error.h"
-#include "util/timer.h"
 
 namespace pagen::core {
 namespace {
 
-using partition::Partition;
-
-/// Interval a rank sleeps in poll_wait when it has nothing runnable.
-constexpr std::chrono::milliseconds kIdleWait{20};
-
-/// Private state and protocol logic of one rank executing Algorithm 3.1.
-class RankX1 {
+/// Algorithm 3.1 as a genrt policy: one slot per node (F_t itself), no
+/// duplicate retries, no rounds. Everything else — phases, buffering, flush
+/// rules, termination, checkpoints, recovery — lives in the genrt runtime.
+class X1Policy {
  public:
-  RankX1(const PaConfig& config, const ParallelOptions& options,
-         const Partition& part, mps::Comm& comm)
-      : config_(config),
-        options_(options),
-        part_(part),
-        comm_(comm),
-        draws_(config),
-        store_edges_(options.gather_edges || options.keep_shards),
-        f_(part.part_size(comm.rank()), kNil),
-        waiters_(f_.size()),
-        req_buf_(comm, kTagRequest, options.buffer_capacity),
-        res_buf_(comm, kTagResolved, options.buffer_capacity),
-        done_(comm, kTagDone, kTagStop),
-        tolerant_(options.fault_plan.has_crash()),
-        recovering_(comm.incarnation() > 0),
-        ob_(comm.obs()) {
-    load_.nodes = f_.size();
-    edges_.reserve(f_.size());
-    if (ob_ != nullptr) {
-      wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
-      chain_hist_ = &ob_->metrics().histogram("pa.chain_latency_ns");
-      mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
-      pending_since_.assign(f_.size(), -1);
-    }
-  }
+  using Request = RequestX1;
+  using Resolved = ResolvedX1;
+  /// Serving messages never creates fresh requests for x = 1 (no duplicate
+  /// retries), so only phase 1 flushes the request buffer.
+  static constexpr bool kFlushRequestsAfterPump = false;
+  /// The slot table IS the targets row F_t.
+  static constexpr bool kHasTargets = true;
 
-  void run() {
-    if (!recovering_) {
-      comm_.barrier();  // common start line, as mpirun would provide
-    } else {
-      // Respawned incarnation: the start barrier already completed in a
-      // previous life (sends — where crashes fire — happen only after it),
-      // so joining it again would desynchronize the collective generation.
-      // Restore the durable slice and announce the restart so peers
-      // re-offer whatever they still wait on (our queues died with us).
-      const auto sp = obs::span(ob_, "recover");
-      restore_from_checkpoint();
-      // Count the replay's open slots up front: answers to the previous
-      // incarnation's requests may arrive before the replay loop reaches
-      // their node, and resolve() must always see a consistent count.
-      const Count my_nodes = part_.part_size(comm_.rank());
-      for (Count idx = 0; idx < my_nodes; ++idx) {
-        if (f_[idx] == kNil && part_.node_at(comm_.rank(), idx) != 0) {
-          ++unresolved_;
-        }
-      }
-      for (Rank r = 0; r < comm_.size(); ++r) {
-        if (r != comm_.rank()) comm_.send_item<char>(r, kTagRecover, 0);
-      }
-    }
+  static Count slots_per_node(const PaConfig&) { return 1; }
 
-    {
-      // Phase 1: process own nodes in ascending label order, pumping
-      // messages between batches so requests from other ranks are never
-      // starved. A recovering rank skips slots its checkpoint restored.
-      const auto sp = obs::span(ob_, "generate");
-      const Count my_nodes = part_.part_size(comm_.rank());
-      for (Count idx = 0; idx < my_nodes; ++idx) {
-        if (!(recovering_ && f_[idx] != kNil)) {
-          process_own_node(part_.node_at(comm_.rank(), idx));
-        }
-        if ((idx + 1) % options_.node_batch == 0) {
-          pump(false);
-          maybe_checkpoint(false);
-        }
-      }
-      req_buf_.flush_all();
-      maybe_checkpoint(true);
-    }
+  using D = genrt::Driver<X1Policy>;
 
-    {
-      // Phase 2: serve and wait until every local F is resolved.
-      const auto sp = obs::span(ob_, "drain");
-      while (unresolved_ > 0) {
-        pump(true);
-        maybe_checkpoint(false);
-      }
-    }
+  explicit X1Policy(D& d) : d_(d), draws_(d.config()) {}
 
-    {
-      // Phase 3: local completion. All responses we owe so far are flushed
-      // before the done notice; afterwards we keep serving requests (always
-      // flushing responses) until the global stop arrives.
-      const auto sp = obs::span(ob_, "termination");
-      res_buf_.flush_all();
-      PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
-      maybe_checkpoint(true);
-      done_.notify_local_done();
-      while (!done_.stopped()) pump(true);
-      res_buf_.flush_all();
-    }
+  /// Node 0 has no outgoing choice; everything else owns one slot.
+  [[nodiscard]] static bool node_has_slots(NodeId t) { return t != 0; }
 
-    comm_.barrier();  // nobody tears down while peers might still poll
-  }
-
-  [[nodiscard]] RankLoad load() const { return load_; }
-  [[nodiscard]] graph::EdgeList&& take_edges() { return std::move(edges_); }
-  [[nodiscard]] std::vector<NodeId>&& take_targets() { return std::move(f_); }
-
- private:
   void process_own_node(NodeId t) {
     if (t == 0) return;  // node 0 has no outgoing choice
-    if (!recovering_) ++unresolved_;  // a recovery pre-counts open slots
+    const Count s = d_.part().local_index(t);
+    if (d_.recovering() && d_.slots().resolved(s)) return;  // restored
+    if (!d_.recovering()) d_.add_open_slot();  // recovery pre-counts these
     if (t == 1) {
       resolve(t, 0);  // bootstrap edge (1, 0)
       return;
@@ -137,216 +46,68 @@ class RankX1 {
       return;
     }
     // Line 8-9: F_t = F_k, which may not be known yet.
-    const Rank owner = part_.owner(k);
-    if (owner == comm_.rank()) {
-      const Count kidx = part_.local_index(k);
-      if (f_[kidx] != kNil) {
-        resolve(t, f_[kidx]);
+    const Rank owner = d_.part().owner(k);
+    if (owner == d_.rank()) {
+      const Count ks = d_.part().local_index(k);
+      if (d_.slots().resolved(ks)) {
+        resolve(t, d_.slots().value(ks));
       } else {
-        waiters_[kidx].push_back({t, comm_.rank()});
-        ++load_.local_waits;
-        note_queue_depth(waiters_[kidx].size());
+        d_.queue_waiter(ks, {.t = t, .owner = d_.rank()});
       }
     } else {
-      req_buf_.add(owner, {t, k});
-      ++load_.requests_sent;
-      if (tolerant_) outstanding_.emplace(t, RequestX1{t, k});
-      if (ob_ != nullptr) {
-        pending_since_[part_.local_index(t)] = now_ns();
-      }
+      d_.send_request(owner, s, {t, k});
     }
   }
 
-  /// F_t := v. Emits the edge and cascades to every waiter of t.
+  // --- Request/resolved mapping (Lines 12-19) ---
+
+  [[nodiscard]] Count request_slot(const Request& req) const {
+    return d_.part().local_index(req.k);
+  }
+  [[nodiscard]] genrt::Waiter request_waiter(const Request& req,
+                                             Rank src) const {
+    return {.t = req.t, .owner = src};  // Line 15: queue Q_k
+  }
+  [[nodiscard]] static Resolved make_resolved(const Request& req, NodeId v) {
+    return {req.t, v};  // Line 12-13
+  }
+  [[nodiscard]] static Resolved waiter_resolved(const genrt::Waiter& w,
+                                                NodeId v) {
+    return {w.t, v};
+  }
+  [[nodiscard]] Count resolved_slot(const Resolved& res) const {
+    return d_.part().local_index(res.t);
+  }
+  [[nodiscard]] static bool accept_resolved(const Resolved&) {
+    return true;  // no rounds for x = 1: every answer is current
+  }
+  void apply_resolved(const Resolved& res) { resolve(res.t, res.v); }
+  void deliver_local(const genrt::Waiter& w, NodeId v) { resolve(w.t, v); }
+
+  // --- Checkpoint extras: x = 1 has none beyond the F slice ---
+
+  static void fill_checkpoint(RankCheckpoint&) {}
+  static void restore_checkpoint_extras(const RankCheckpoint&) {}
+
+ private:
+  /// F_t := v (cascades to every waiter of t inside the runtime).
   void resolve(NodeId t, NodeId v) {
-    const Count idx = part_.local_index(t);
-    if (f_[idx] != kNil) {
+    const Count s = d_.part().local_index(t);
+    if (d_.slots().resolved(s)) {
       // Crash-tolerant mode: a recovery legitimately produces duplicate
       // resolutions (a checkpoint-restored slot answered again via
       // re-offer, or a peer's re-request of a waiter that survived). The
       // value must agree — draws are pure in (seed, t), so F_t is unique.
-      PAGEN_CHECK_MSG(tolerant_, "double resolve of node " << t);
-      PAGEN_CHECK_MSG(f_[idx] == v, "conflicting resolution of node " << t);
+      PAGEN_CHECK_MSG(d_.tolerant(), "double resolve of node " << t);
+      PAGEN_CHECK_MSG(d_.slots().value(s) == v,
+                      "conflicting resolution of node " << t);
       return;
     }
-    f_[idx] = v;
-    PAGEN_CHECK(unresolved_ > 0);
-    --unresolved_;
-    ++resolved_since_ckpt_;
-    emit_edge({t, v});
-    // Waiters of t have F_{t'} = F_t = v (Lines 16-19).
-    for (const Waiter& w : waiters_[idx]) {
-      if (w.owner == comm_.rank()) {
-        resolve(w.t, v);
-      } else {
-        res_buf_.add(w.owner, {w.t, v});
-        ++load_.resolved_sent;
-      }
-    }
-    waiters_[idx].clear();
-    waiters_[idx].shrink_to_fit();
+    d_.assign_slot(s, t, v);
   }
 
-  void handle_request(Rank src, const RequestX1& req) {
-    ++load_.requests_received;
-    const Count kidx = part_.local_index(req.k);
-    PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
-    if (f_[kidx] != kNil) {
-      res_buf_.add(src, {req.t, f_[kidx]});  // Line 12-13
-      ++load_.resolved_sent;
-    } else {
-      waiters_[kidx].push_back({req.t, src});  // Line 15: queue Q_k
-      ++load_.queued;
-      note_queue_depth(waiters_[kidx].size());
-    }
-  }
-
-  void handle_resolved(const ResolvedX1& res) {
-    ++load_.resolved_received;
-    if (ob_ != nullptr) {
-      // Chain-resolution latency: time from our <request> leaving to its
-      // <resolved> arriving — the wait Theorem 3.3 bounds by O(log n) hops.
-      std::int64_t& since = pending_since_[part_.local_index(res.t)];
-      if (since >= 0) {
-        chain_hist_->observe(static_cast<std::uint64_t>(now_ns() - since));
-        since = -1;
-      }
-    }
-    if (tolerant_) outstanding_.erase(res.t);
-    resolve(res.t, res.v);  // Lines 16-19 (cascade happens inside)
-  }
-
-  /// A peer respawned: every request we still wait on that it owns died
-  /// with its waiter queues, so offer them again. The answers that were
-  /// already in flight arrive as duplicates and are absorbed by the
-  /// tolerant resolve path.
-  void handle_recover(Rank src) {
-    for (const auto& [t, req] : outstanding_) {
-      if (part_.owner(req.k) == src) {
-        req_buf_.add(src, req);
-        ++load_.requests_sent;
-      }
-    }
-    req_buf_.flush(src);
-    done_.on_peer_recover(src);
-    if (ob_ != nullptr) ob_->trace().instant("peer_recover");
-  }
-
-  /// Restore the resolved F slice of a previous incarnation, re-emitting
-  /// its edges (the sink contract is at-least-once under crashes). Nodes
-  /// left kNil are replayed by phase 1 exactly as in the first life.
-  void restore_from_checkpoint() {
-    if (options_.checkpoint_dir.empty()) return;
-    RankCheckpoint ck;
-    if (!load_checkpoint(options_.checkpoint_dir, comm_.rank(), ck)) return;
-    PAGEN_CHECK_MSG(ck.n == config_.n && ck.x == config_.x &&
-                        ck.seed == config_.seed &&
-                        ck.nranks == comm_.size() && ck.f.size() == f_.size(),
-                    "checkpoint does not match this run's parameters");
-    for (Count idx = 0; idx < ck.f.size(); ++idx) {
-      if (ck.f[idx] == kNil) continue;
-      f_[idx] = ck.f[idx];
-      emit_edge({part_.node_at(comm_.rank(), idx), ck.f[idx]});
-    }
-  }
-
-  void maybe_checkpoint(bool force) {
-    if (options_.checkpoint_dir.empty()) return;
-    if (resolved_since_ckpt_ == 0) return;  // nothing new since last write
-    if (!force && resolved_since_ckpt_ < options_.checkpoint_every) return;
-    const auto sp = obs::span(ob_, "checkpoint");
-    RankCheckpoint ck;
-    ck.n = config_.n;
-    ck.x = config_.x;
-    ck.seed = config_.seed;
-    ck.rank = comm_.rank();
-    ck.nranks = comm_.size();
-    ck.f = f_;
-    save_checkpoint(options_.checkpoint_dir, ck);
-    resolved_since_ckpt_ = 0;
-  }
-
-  /// Drain and process incoming envelopes. Blocking variants sleep briefly
-  /// when idle. Resolved buffers are force-flushed after every processed
-  /// batch (the paper's RRP deadlock-avoidance rule) unless the ablation
-  /// option disables it; they are always flushed once this rank is done.
-  void pump(bool blocking) {
-    inbox_.clear();
-    if (ob_ != nullptr) {
-      const auto depth = static_cast<std::int64_t>(comm_.pending());
-      mailbox_gauge_->set(depth);
-      if (ob_->trace().sample_tick()) {
-        ob_->trace().counter("mailbox_depth", depth);
-      }
-    }
-    const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
-                              : comm_.poll(inbox_);
-    if (!got) return;
-    for (const mps::Envelope& env : inbox_) {
-      if (done_.handle(env)) continue;
-      if (env.tag == kTagRequest) {
-        mps::for_each_packed<RequestX1>(
-            env.payload, [&](const RequestX1& r) { handle_request(env.src, r); });
-      } else if (env.tag == kTagResolved) {
-        mps::for_each_packed<ResolvedX1>(
-            env.payload, [&](const ResolvedX1& r) { handle_resolved(r); });
-      } else if (env.tag == kTagRecover) {
-        handle_recover(env.src);
-      } else {
-        PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
-      }
-    }
-    if (options_.flush_resolved_after_batch || unresolved_ == 0) {
-      res_buf_.flush_all();
-    }
-  }
-
-  void note_queue_depth(std::size_t depth) {
-    load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
-    if (wait_depth_hist_ != nullptr) wait_depth_hist_->observe(depth);
-  }
-
-  void emit_edge(const graph::Edge& e) {
-    if (store_edges_) edges_.push_back(e);
-    if (options_.edge_sink) options_.edge_sink(comm_.rank(), e);
-    ++load_.edges;
-  }
-
-  struct Waiter {
-    NodeId t;
-    Rank owner;
-  };
-
-  const PaConfig& config_;
-  const ParallelOptions& options_;
-  const Partition& part_;
-  mps::Comm& comm_;
+  D& d_;
   DrawSchema draws_;
-  bool store_edges_;
-
-  std::vector<NodeId> f_;                    // F by local index
-  std::vector<std::vector<Waiter>> waiters_;  // Q_k by local index
-  graph::EdgeList edges_;
-  std::vector<mps::Envelope> inbox_;
-  mps::SendBuffer<RequestX1> req_buf_;
-  mps::SendBuffer<ResolvedX1> res_buf_;
-  mps::DoneDetector done_;
-  bool tolerant_;    ///< crash plan active: absorb duplicate resolutions
-  bool recovering_;  ///< this Comm is a respawned incarnation
-  RankLoad load_;
-  Count unresolved_ = 0;
-
-  /// Requests sent but not yet answered, kept only under a crash plan so
-  /// they can be re-offered when their owner respawns (docs/robustness.md).
-  std::map<NodeId, RequestX1> outstanding_;
-  Count resolved_since_ckpt_ = 0;
-
-  // Observability (all null / empty when observation is off).
-  obs::RankObserver* ob_;
-  obs::Histogram* wait_depth_hist_ = nullptr;
-  obs::Histogram* chain_hist_ = nullptr;
-  obs::Gauge* mailbox_gauge_ = nullptr;
-  std::vector<std::int64_t> pending_since_;  ///< request departure, by local idx
 };
 
 }  // namespace
@@ -359,73 +120,7 @@ ParallelResult generate_pa_x1(const PaConfig& config,
   PAGEN_CHECK(options.ranks >= 1);
   PAGEN_CHECK_MSG(static_cast<NodeId>(options.ranks) <= config.n,
                   "more ranks than nodes");
-
-  obs::RankObserver* drv =
-      options.obs != nullptr ? &options.obs->driver() : nullptr;
-
-  std::shared_ptr<const partition::Partition> part = options.custom_partition;
-  if (part) {
-    PAGEN_CHECK_MSG(part->num_nodes() == config.n &&
-                        part->num_parts() == options.ranks,
-                    "custom partition does not match (n, ranks)");
-  } else {
-    const auto sp = obs::span(drv, "partition_build");
-    part = partition::make_partition(options.scheme, config.n, options.ranks);
-  }
-
-  const auto nranks = static_cast<std::size_t>(options.ranks);
-  std::vector<graph::EdgeList> edge_slots(nranks);
-  std::vector<std::vector<NodeId>> target_slots(nranks);
-  LoadVector load_slots(nranks);
-
-  mps::WorldOptions world_options;
-  world_options.fault_plan = options.fault_plan;
-  world_options.reliable = options.reliable;
-
-  mps::RunResult run;
-  {
-    const auto world_span = obs::span(drv, "run_ranks");
-    run = mps::run_ranks(
-        options.ranks, world_options,
-        [&](mps::Comm& comm) {
-          RankX1 rank(config, options, *part, comm);
-          rank.run();
-          const auto slot = static_cast<std::size_t>(comm.rank());
-          load_slots[slot] = rank.load();
-          if (auto* ob = comm.obs()) record_metrics(ob->metrics(), rank.load());
-          if (options.gather_edges || options.keep_shards) {
-            edge_slots[slot] = rank.take_edges();
-          }
-          if (options.gather_edges) {
-            target_slots[slot] = rank.take_targets();
-          }
-        },
-        options.obs);
-  }
-
-  ParallelResult result;
-  result.loads = std::move(load_slots);
-  result.comm_stats = run.rank_stats;
-  result.wall_seconds = run.wall_seconds;
-  result.respawns = run.respawns;
-  for (const RankLoad& l : result.loads) result.total_edges += l.edges;
-
-  if (options.gather_edges) {
-    result.edges.reserve(result.total_edges);
-    for (auto& slot : edge_slots) {
-      result.edges.insert(result.edges.end(), slot.begin(), slot.end());
-      if (!options.keep_shards) slot.clear();
-    }
-    result.targets.assign(config.n, kNil);
-    for (Rank r = 0; r < options.ranks; ++r) {
-      const auto& slot = target_slots[static_cast<std::size_t>(r)];
-      for (Count idx = 0; idx < slot.size(); ++idx) {
-        result.targets[part->node_at(r, idx)] = slot[idx];
-      }
-    }
-  }
-  if (options.keep_shards) result.shards = std::move(edge_slots);
-  return result;
+  return genrt::launch<X1Policy>(config, options);
 }
 
 }  // namespace pagen::core

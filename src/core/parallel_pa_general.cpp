@@ -1,157 +1,130 @@
 #include "core/parallel_pa_general.h"
 
-#include <chrono>
-#include <map>
+#include <cstdint>
+#include <vector>
 
 #include "baseline/pa_draws.h"
-#include "core/checkpoint.h"
+#include "core/genrt/driver.h"
+#include "core/genrt/launch.h"
 #include "core/pa_messages.h"
-#include "mps/engine.h"
-#include "mps/send_buffer.h"
-#include "mps/termination.h"
-#include "obs/session.h"
 #include "util/error.h"
-#include "util/timer.h"
 
 namespace pagen::core {
 namespace {
 
-using partition::Partition;
-
-constexpr std::chrono::milliseconds kIdleWait{20};
 constexpr std::uint64_t kMaxAttempts = 100000;
 
-/// Private state and protocol logic of one rank executing Algorithm 3.2.
-class RankXk {
+/// Algorithm 3.2 as a genrt policy: x slots per node (F_t(e)), an initial
+/// x-clique, and duplicate-edge avoidance — direct-path duplicates retry
+/// with a fresh (k, coin) (paper Lines 9-10), copy-path duplicates re-draw
+/// (k, l) and latch onto the copy path (Lines 26-29). The per-slot attempt
+/// counter doubles as the request round so stale answers after a crash
+/// recovery are filtered. Everything else lives in the genrt runtime.
+class XkPolicy {
  public:
-  RankXk(const PaConfig& config, const ParallelOptions& options,
-         const Partition& part, mps::Comm& comm)
-      : config_(config),
-        options_(options),
-        part_(part),
-        comm_(comm),
-        draws_(config),
-        store_edges_(options.gather_edges || options.keep_shards),
-        x_(config.x),
-        slots_(part.part_size(comm.rank()) * config.x),
-        f_(slots_, kNil),
-        attempts_(slots_, 0),
-        locked_copy_(slots_, 0),
-        waiters_(slots_),
-        req_buf_(comm, kTagRequest, options.buffer_capacity),
-        res_buf_(comm, kTagResolved, options.buffer_capacity),
-        done_(comm, kTagDone, kTagStop),
-        tolerant_(options.fault_plan.has_crash()),
-        recovering_(comm.incarnation() > 0),
-        ob_(comm.obs()) {
-    load_.nodes = part.part_size(comm.rank());
-    if (ob_ != nullptr) {
-      wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
-      chain_hist_ = &ob_->metrics().histogram("pa.chain_latency_ns");
-      mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
-      pending_since_.assign(slots_, -1);
-    }
-  }
+  using Request = RequestXk;
+  using Resolved = ResolvedXk;
+  /// Duplicate retries create fresh requests while serving messages; in the
+  /// waiting phases nothing else would flush them.
+  static constexpr bool kFlushRequestsAfterPump = true;
+  /// Rows are per-edge for x > 1; there is no targets row.
+  static constexpr bool kHasTargets = false;
 
-  void run() {
-    if (!recovering_) {
-      comm_.barrier();
-    } else {
-      // Respawned incarnation: the start barrier already completed in a
-      // previous life (sends — where crashes fire — happen only after it),
-      // so joining it again would desynchronize the collective generation.
-      // Restore the durable slice and announce the restart so peers
-      // re-offer whatever they still wait on (our queues died with us).
-      const auto sp = obs::span(ob_, "recover");
-      restore_from_checkpoint();
-      // Count the replay's open slots up front: answers to the previous
-      // incarnation's requests may arrive before the replay loop reaches
-      // their node, and assign() must always see a consistent count.
-      const Count my_nodes = part_.part_size(comm_.rank());
-      for (Count idx = 0; idx < my_nodes; ++idx) {
-        if (part_.node_at(comm_.rank(), idx) < x_) continue;  // clique
-        for (std::uint32_t e = 0; e < x_; ++e) {
-          if (f_[idx * x_ + e] == kNil) ++unresolved_;
-        }
-      }
-      for (Rank r = 0; r < comm_.size(); ++r) {
-        if (r != comm_.rank()) comm_.send_item<char>(r, kTagRecover, 0);
-      }
-    }
+  static Count slots_per_node(const PaConfig& config) { return config.x; }
 
-    {
-      const auto sp = obs::span(ob_, "generate");
-      const Count my_nodes = part_.part_size(comm_.rank());
-      for (Count idx = 0; idx < my_nodes; ++idx) {
-        process_own_node(part_.node_at(comm_.rank(), idx));
-        if ((idx + 1) % options_.node_batch == 0) {
-          pump(false);
-          maybe_checkpoint(false);
-        }
-      }
-      req_buf_.flush_all();
-      maybe_checkpoint(true);
-    }
+  using D = genrt::Driver<XkPolicy>;
 
-    {
-      const auto sp = obs::span(ob_, "drain");
-      while (unresolved_ > 0) {
-        pump(true);
-        maybe_checkpoint(false);
-      }
-    }
+  explicit XkPolicy(D& d)
+      : d_(d),
+        draws_(d.config()),
+        x_(d.config().x),
+        attempts_(d.slots().size(), 0),
+        locked_copy_(d.slots().size(), 0) {}
 
-    {
-      const auto sp = obs::span(ob_, "termination");
-      res_buf_.flush_all();
-      PAGEN_CHECK(res_buf_.empty());
-      maybe_checkpoint(true);
-      done_.notify_local_done();
-      while (!done_.stopped()) pump(true);
-      res_buf_.flush_all();
-    }
-
-    comm_.barrier();
-  }
-
-  [[nodiscard]] RankLoad load() const { return load_; }
-  [[nodiscard]] graph::EdgeList&& take_edges() { return std::move(edges_); }
-
- private:
-  [[nodiscard]] Count slot(NodeId t, std::uint32_t e) const {
-    return part_.local_index(t) * x_ + e;
-  }
-
-  /// True if v already is one of t's resolved endpoints (k ∈ F_t check).
-  [[nodiscard]] bool is_duplicate(NodeId t, NodeId v) const {
-    const Count base = part_.local_index(t) * x_;
-    for (NodeId e = 0; e < x_; ++e) {
-      if (f_[base + e] == v) return true;
-    }
-    return false;
-  }
+  /// Clique nodes (t < x) have no attachment choices of their own.
+  [[nodiscard]] bool node_has_slots(NodeId t) const { return t >= x_; }
 
   void process_own_node(NodeId t) {
     if (t < x_) {
       // Initial clique: the larger endpoint emits each clique edge.
-      for (NodeId i = 0; i < t; ++i) emit_edge({t, i});
+      for (NodeId i = 0; i < t; ++i) d_.emit_edge({t, i});
       return;
     }
     if (t == x_) {
       // Bootstrap convention (DESIGN.md §5): node x connects to the whole
       // clique, so F_x(e) = e deterministically.
       for (std::uint32_t e = 0; e < x_; ++e) {
-        if (recovering_ && f_[slot(t, e)] != kNil) continue;  // restored
-        if (!recovering_) ++unresolved_;  // recovery pre-counts open slots
+        if (d_.recovering() && d_.slots().resolved(slot(t, e))) continue;
+        if (!d_.recovering()) d_.add_open_slot();  // recovery pre-counts
         assign(t, e, e);
       }
       return;
     }
     for (std::uint32_t e = 0; e < x_; ++e) {
-      if (recovering_ && f_[slot(t, e)] != kNil) continue;  // restored
-      if (!recovering_) ++unresolved_;  // recovery pre-counts open slots
+      if (d_.recovering() && d_.slots().resolved(slot(t, e))) continue;
+      if (!d_.recovering()) d_.add_open_slot();  // recovery pre-counts
       try_edge(t, e);
     }
+  }
+
+  // --- Request/resolved mapping (Lines 17-20) ---
+
+  [[nodiscard]] Count request_slot(const Request& req) const {
+    return slot(req.k, req.l);
+  }
+  [[nodiscard]] static genrt::Waiter request_waiter(const Request& req,
+                                                    Rank src) {
+    return {req.t, req.e, src, req.round};  // Lines 19-20: queue Q_{k,l}
+  }
+  [[nodiscard]] static Resolved make_resolved(const Request& req, NodeId v) {
+    return {req.t, v, req.e, req.round};  // Lines 17-18
+  }
+  [[nodiscard]] static Resolved waiter_resolved(const genrt::Waiter& w,
+                                                NodeId v) {
+    return {w.t, v, w.e, w.round};
+  }
+  [[nodiscard]] Count resolved_slot(const Resolved& res) const {
+    return slot(res.t, res.e);
+  }
+  /// Stale answer to a superseded round: processing it would bump the
+  /// attempt counter a second time and desync the deterministic draw
+  /// sequence (docs/robustness.md §3).
+  [[nodiscard]] bool accept_resolved(const Resolved& res) const {
+    return !d_.tolerant() || res.round == attempts_[slot(res.t, res.e)];
+  }
+  void apply_resolved(const Resolved& res) {
+    on_resolved(res.t, res.e, res.v);
+  }
+  void deliver_local(const genrt::Waiter& w, NodeId v) {
+    on_resolved(w.t, w.e, v);
+  }
+
+  // --- Checkpoint extras: attempt counters and copy-path latches ---
+
+  void fill_checkpoint(RankCheckpoint& ck) const {
+    ck.attempts = attempts_;
+    ck.locked_copy = locked_copy_;
+  }
+  void restore_checkpoint_extras(const RankCheckpoint& ck) {
+    PAGEN_CHECK_MSG(ck.attempts.size() == d_.slots().size() &&
+                        ck.locked_copy.size() == d_.slots().size(),
+                    "checkpoint does not match this run's parameters");
+    attempts_ = ck.attempts;
+    locked_copy_ = ck.locked_copy;
+  }
+
+ private:
+  [[nodiscard]] Count slot(NodeId t, std::uint32_t e) const {
+    return d_.part().local_index(t) * x_ + e;
+  }
+
+  /// True if v already is one of t's resolved endpoints (k ∈ F_t check).
+  [[nodiscard]] bool is_duplicate(NodeId t, NodeId v) const {
+    const Count base = d_.part().local_index(t) * x_;
+    for (NodeId e = 0; e < x_; ++e) {
+      if (d_.slots().value(base + e) == v) return true;
+    }
+    return false;
   }
 
   /// Drive edge (t, e) forward until it is assigned, parked in a local
@@ -169,260 +142,69 @@ class RankXk {
           return;
         }
         ++attempts_[s];  // Lines 9-10: fresh k and coin
-        ++load_.retries;
+        ++d_.load().retries;
         continue;
       }
       const auto l = static_cast<std::uint32_t>(draws_.pick_l(t, e, attempt));
-      const Rank owner = part_.owner(k);
-      if (owner != comm_.rank()) {
-        const RequestXk req{t, k, e, l, static_cast<std::uint32_t>(attempt)};
-        req_buf_.add(owner, req);  // Line 14
-        ++load_.requests_sent;
-        if (tolerant_) outstanding_[s] = req;
-        if (ob_ != nullptr) pending_since_[s] = now_ns();
+      const Rank owner = d_.part().owner(k);
+      if (owner != d_.rank()) {
+        // Line 14; the round echo is this slot's attempt at issue time.
+        d_.send_request(owner, s,
+                        {t, k, e, l, static_cast<std::uint32_t>(attempt)});
         return;
       }
       const Count ks = slot(k, l);
-      if (f_[ks] == kNil) {
-        waiters_[ks].push_back({t, e, comm_.rank(), 0});  // local Q_{k,l}
-        ++load_.local_waits;
-        note_queue_depth(waiters_[ks].size());
+      if (!d_.slots().resolved(ks)) {
+        d_.queue_waiter(ks, {t, e, d_.rank(), 0});  // local Q_{k,l}
         return;
       }
-      const NodeId v = f_[ks];
+      const NodeId v = d_.slots().value(ks);
       if (!is_duplicate(t, v)) {
         assign(t, e, v);
         return;
       }
       locked_copy_[s] = 1;  // Lines 26-29: stay on the copy path
       ++attempts_[s];
-      ++load_.retries;
+      ++d_.load().retries;
     }
   }
 
-  /// F_t(e) := v; emit the edge and answer everyone queued on (t, e).
+  /// F_t(e) := v (the runtime emits the edge and answers everyone queued
+  /// on (t, e), re-entering deliver_local for local waiters).
   void assign(NodeId t, std::uint32_t e, NodeId v) {
-    const Count s = slot(t, e);
-    PAGEN_CHECK_MSG(f_[s] == kNil, "double assign of (" << t << "," << e << ")");
     PAGEN_DCHECK(!is_duplicate(t, v));
-    f_[s] = v;
-    PAGEN_CHECK(unresolved_ > 0);
-    --unresolved_;
-    ++resolved_since_ckpt_;
-    emit_edge({t, v});
-    for (const Waiter& w : waiters_[s]) {
-      if (w.owner == comm_.rank()) {
-        on_resolved(w.t, w.e, v);
-      } else {
-        res_buf_.add(w.owner, {w.t, v, w.e, w.round});
-        ++load_.resolved_sent;
-      }
-    }
-    waiters_[s].clear();
-    waiters_[s].shrink_to_fit();
+    d_.assign_slot(slot(t, e), t, v);
   }
 
   /// A value arrived for edge (t, e) — either accept it or retry on the
   /// copy path (Lines 21-29).
   void on_resolved(NodeId t, std::uint32_t e, NodeId v) {
-    if (f_[slot(t, e)] != kNil) {
+    const Count s = slot(t, e);
+    if (d_.slots().resolved(s)) {
       // Crash-tolerant mode: a recovery re-offer can answer a slot that an
       // in-flight first answer already settled. The value must agree —
       // F_k(l) is unique once resolved, and stale rounds were filtered.
-      PAGEN_CHECK_MSG(tolerant_,
+      PAGEN_CHECK_MSG(d_.tolerant(),
                       "duplicate resolution of (" << t << "," << e << ")");
-      PAGEN_CHECK_MSG(f_[slot(t, e)] == v,
+      PAGEN_CHECK_MSG(d_.slots().value(s) == v,
                       "conflicting resolution of (" << t << "," << e << ")");
       return;
     }
     if (is_duplicate(t, v)) {
-      const Count s = slot(t, e);
       locked_copy_[s] = 1;
       ++attempts_[s];
-      ++load_.retries;
+      ++d_.load().retries;
       try_edge(t, e);
       return;
     }
     assign(t, e, v);
   }
 
-  void handle_request(Rank src, const RequestXk& req) {
-    ++load_.requests_received;
-    PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
-    const Count ks = slot(req.k, req.l);
-    if (f_[ks] != kNil) {
-      res_buf_.add(src, {req.t, f_[ks], req.e, req.round});  // Lines 17-18
-      ++load_.resolved_sent;
-    } else {
-      waiters_[ks].push_back({req.t, req.e, src, req.round});  // Lines 19-20
-      ++load_.queued;
-      note_queue_depth(waiters_[ks].size());
-    }
-  }
-
-  /// A peer respawned: every request we still wait on that it owns died
-  /// with its waiter queues, so offer them again (latest round per slot).
-  /// Stale in-flight answers are filtered by the round echo.
-  void handle_recover(Rank src) {
-    for (const auto& [s, req] : outstanding_) {
-      if (part_.owner(req.k) == src) {
-        req_buf_.add(src, req);
-        ++load_.requests_sent;
-      }
-    }
-    req_buf_.flush(src);
-    done_.on_peer_recover(src);
-    if (ob_ != nullptr) ob_->trace().instant("peer_recover");
-  }
-
-  /// Restore the durable slice of a previous incarnation — resolved slots,
-  /// attempt counters, and copy-path latches — re-emitting the restored
-  /// edges (the sink contract is at-least-once under crashes). Unresolved
-  /// slots replay from their restored attempt, re-drawing identically.
-  void restore_from_checkpoint() {
-    if (options_.checkpoint_dir.empty()) return;
-    RankCheckpoint ck;
-    if (!load_checkpoint(options_.checkpoint_dir, comm_.rank(), ck)) return;
-    PAGEN_CHECK_MSG(ck.n == config_.n && ck.x == config_.x &&
-                        ck.seed == config_.seed &&
-                        ck.nranks == comm_.size() && ck.f.size() == slots_ &&
-                        ck.attempts.size() == slots_ &&
-                        ck.locked_copy.size() == slots_,
-                    "checkpoint does not match this run's parameters");
-    attempts_ = ck.attempts;
-    locked_copy_ = ck.locked_copy;
-    for (Count s = 0; s < slots_; ++s) {
-      if (ck.f[s] == kNil) continue;
-      f_[s] = ck.f[s];
-      emit_edge({part_.node_at(comm_.rank(), s / x_), ck.f[s]});
-    }
-  }
-
-  void maybe_checkpoint(bool force) {
-    if (options_.checkpoint_dir.empty()) return;
-    if (resolved_since_ckpt_ == 0) return;  // nothing new since last write
-    if (!force && resolved_since_ckpt_ < options_.checkpoint_every) return;
-    const auto sp = obs::span(ob_, "checkpoint");
-    RankCheckpoint ck;
-    ck.n = config_.n;
-    ck.x = config_.x;
-    ck.seed = config_.seed;
-    ck.rank = comm_.rank();
-    ck.nranks = comm_.size();
-    ck.f = f_;
-    ck.attempts = attempts_;
-    ck.locked_copy = locked_copy_;
-    save_checkpoint(options_.checkpoint_dir, ck);
-    resolved_since_ckpt_ = 0;
-  }
-
-  void pump(bool blocking) {
-    inbox_.clear();
-    if (ob_ != nullptr) {
-      const auto depth = static_cast<std::int64_t>(comm_.pending());
-      mailbox_gauge_->set(depth);
-      if (ob_->trace().sample_tick()) {
-        ob_->trace().counter("mailbox_depth", depth);
-      }
-    }
-    const bool got = blocking ? comm_.poll_wait(inbox_, kIdleWait)
-                              : comm_.poll(inbox_);
-    if (!got) return;
-    for (const mps::Envelope& env : inbox_) {
-      if (done_.handle(env)) continue;
-      if (env.tag == kTagRequest) {
-        mps::for_each_packed<RequestXk>(
-            env.payload, [&](const RequestXk& r) { handle_request(env.src, r); });
-      } else if (env.tag == kTagResolved) {
-        mps::for_each_packed<ResolvedXk>(
-            env.payload, [&](const ResolvedXk& r) {
-              ++load_.resolved_received;
-              const Count rs = slot(r.t, r.e);
-              if (tolerant_) {
-                // Stale answer to a superseded round: processing it would
-                // bump the attempt counter a second time and desync the
-                // deterministic draw sequence (docs/robustness.md §3).
-                if (r.round != attempts_[rs]) return;
-                outstanding_.erase(rs);
-              }
-              if (ob_ != nullptr) {
-                // Chain-resolution latency: request departure → resolution
-                // arrival for this slot (re-stamped on duplicate retries).
-                std::int64_t& since = pending_since_[slot(r.t, r.e)];
-                if (since >= 0) {
-                  chain_hist_->observe(
-                      static_cast<std::uint64_t>(now_ns() - since));
-                  since = -1;
-                }
-              }
-              on_resolved(r.t, r.e, r.v);
-            });
-      } else if (env.tag == kTagRecover) {
-        handle_recover(env.src);
-      } else {
-        PAGEN_CHECK_MSG(false, "unexpected tag " << env.tag);
-      }
-    }
-    if (options_.flush_resolved_after_batch || unresolved_ == 0) {
-      res_buf_.flush_all();
-    }
-    // Retries triggered by duplicates may have produced fresh requests; in
-    // the waiting phases nothing else flushes them.
-    req_buf_.flush_all();
-  }
-
-  void note_queue_depth(std::size_t depth) {
-    load_.max_queue_depth = std::max<Count>(load_.max_queue_depth, depth);
-    if (wait_depth_hist_ != nullptr) wait_depth_hist_->observe(depth);
-  }
-
-  void emit_edge(const graph::Edge& e) {
-    if (store_edges_) edges_.push_back(e);
-    if (options_.edge_sink) options_.edge_sink(comm_.rank(), e);
-    ++load_.edges;
-  }
-
-  struct Waiter {
-    NodeId t;
-    std::uint32_t e;
-    Rank owner;
-    std::uint32_t round;  ///< request round to echo (remote waiters only)
-  };
-
-  const PaConfig& config_;
-  const ParallelOptions& options_;
-  const Partition& part_;
-  mps::Comm& comm_;
+  D& d_;
   DrawSchema draws_;
-  bool store_edges_;
   NodeId x_;
-
-  Count slots_;
-  std::vector<NodeId> f_;                    // F_t(e) by slot
-  std::vector<std::uint32_t> attempts_;      // per-slot draw attempt counter
-  std::vector<std::uint8_t> locked_copy_;    // per-slot Lines 26-29 latch
-  std::vector<std::vector<Waiter>> waiters_;  // Q_{k,l} by slot
-  graph::EdgeList edges_;
-  std::vector<mps::Envelope> inbox_;
-  mps::SendBuffer<RequestXk> req_buf_;
-  mps::SendBuffer<ResolvedXk> res_buf_;
-  mps::DoneDetector done_;
-  bool tolerant_;    ///< crash plan active: absorb duplicate resolutions
-  bool recovering_;  ///< this Comm is a respawned incarnation
-  RankLoad load_;
-  Count unresolved_ = 0;
-
-  /// Latest unanswered request per slot, kept only under a crash plan so
-  /// it can be re-offered when its owner respawns (docs/robustness.md).
-  std::map<Count, RequestXk> outstanding_;
-  Count resolved_since_ckpt_ = 0;
-
-  // Observability (all null / empty when observation is off).
-  obs::RankObserver* ob_;
-  obs::Histogram* wait_depth_hist_ = nullptr;
-  obs::Histogram* chain_hist_ = nullptr;
-  obs::Gauge* mailbox_gauge_ = nullptr;
-  std::vector<std::int64_t> pending_since_;  ///< request departure, by slot
+  std::vector<std::uint32_t> attempts_;    // per-slot draw attempt counter
+  std::vector<std::uint8_t> locked_copy_;  // per-slot Lines 26-29 latch
 };
 
 }  // namespace
@@ -440,62 +222,7 @@ ParallelResult generate_pa_general(const PaConfig& config,
   PAGEN_CHECK(options.ranks >= 1);
   PAGEN_CHECK_MSG(static_cast<NodeId>(options.ranks) <= config.n,
                   "more ranks than nodes");
-
-  obs::RankObserver* drv =
-      options.obs != nullptr ? &options.obs->driver() : nullptr;
-
-  std::shared_ptr<const partition::Partition> part = options.custom_partition;
-  if (part) {
-    PAGEN_CHECK_MSG(part->num_nodes() == config.n &&
-                        part->num_parts() == options.ranks,
-                    "custom partition does not match (n, ranks)");
-  } else {
-    const auto sp = obs::span(drv, "partition_build");
-    part = partition::make_partition(options.scheme, config.n, options.ranks);
-  }
-
-  const auto nranks = static_cast<std::size_t>(options.ranks);
-  std::vector<graph::EdgeList> edge_slots(nranks);
-  LoadVector load_slots(nranks);
-
-  mps::WorldOptions world_options;
-  world_options.fault_plan = options.fault_plan;
-  world_options.reliable = options.reliable;
-
-  mps::RunResult run;
-  {
-    const auto world_span = obs::span(drv, "run_ranks");
-    run = mps::run_ranks(
-        options.ranks, world_options,
-        [&](mps::Comm& comm) {
-          RankXk rank(config, options, *part, comm);
-          rank.run();
-          const auto slot = static_cast<std::size_t>(comm.rank());
-          load_slots[slot] = rank.load();
-          if (auto* ob = comm.obs()) record_metrics(ob->metrics(), rank.load());
-          if (options.gather_edges || options.keep_shards) {
-            edge_slots[slot] = rank.take_edges();
-          }
-        },
-        options.obs);
-  }
-
-  ParallelResult result;
-  result.loads = std::move(load_slots);
-  result.comm_stats = run.rank_stats;
-  result.wall_seconds = run.wall_seconds;
-  result.respawns = run.respawns;
-  for (const RankLoad& l : result.loads) result.total_edges += l.edges;
-
-  if (options.gather_edges) {
-    result.edges.reserve(result.total_edges);
-    for (auto& slot : edge_slots) {
-      result.edges.insert(result.edges.end(), slot.begin(), slot.end());
-      if (!options.keep_shards) slot.clear();
-    }
-  }
-  if (options.keep_shards) result.shards = std::move(edge_slots);
-  return result;
+  return genrt::launch<XkPolicy>(config, options);
 }
 
 }  // namespace pagen::core

@@ -43,7 +43,7 @@ struct CommStats {
   std::vector<Count> envelopes_to;
 
   /// Envelopes sent / received per message tag (protocol tags from
-  /// core/pa_messages.h, plus any user tags).
+  /// core/genrt/protocol.h, plus any user tags).
   std::map<int, Count> sent_by_tag;
   std::map<int, Count> received_by_tag;
 
