@@ -14,10 +14,13 @@
 namespace pagen::core {
 
 /// Generate a preferential-attachment network with the distributed
-/// algorithm matching config.x (Algorithm 3.1 for x = 1, Algorithm 3.2
-/// otherwise).
+/// algorithm matching config.x: Algorithm 3.1 for x = 1 (dispatched
+/// directly — the general front door's x == 1 delegation is bypassed, not
+/// relied on), Algorithm 3.2 otherwise. Both routes produce identical
+/// x = 1 output (tests/generate_dispatch_test.cpp pins this).
 [[nodiscard]] inline ParallelResult generate(const PaConfig& config,
                                              const ParallelOptions& options) {
+  if (config.x == 1) return generate_pa_x1(config, options);
   return generate_pa_general(config, options);
 }
 

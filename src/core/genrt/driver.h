@@ -5,8 +5,10 @@
 // retry; the message loop around them is one machine. Driver<Policy> owns
 // that machine — the generate → drain → termination phases, per-destination
 // send buffering, the post-batch flush rule, counting termination, the flat
-// slot store, load accounting, observability spans, and the crash-recovery
-// adapter — and delegates the algorithm to a small policy object.
+// slot store, load accounting, observability spans, cooperative
+// cancellation (ParallelOptions::cancel_requested, polled at every phase
+// boundary), the batched edge sink, and the crash-recovery adapter — and
+// delegates the algorithm to a small policy object.
 //
 // A policy plugs in with (see docs/architecture.md for the full contract,
 // parallel_pa.cpp / parallel_pa_general.cpp for the two instances):
@@ -92,6 +94,11 @@ class Driver {
         policy_(*this) {
     load_.nodes = part.part_size(comm.rank());
     if (store_edges_) edges_.reserve(slots_.size());
+    if (options.edge_batch_sink) {
+      PAGEN_CHECK_MSG(options.edge_batch_capacity >= 1,
+                      "edge_batch_capacity must be >= 1");
+      batch_buf_.reserve(options.edge_batch_capacity);
+    }
     if (ob_ != nullptr) {
       wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
       mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
@@ -116,6 +123,7 @@ class Driver {
       for (Count idx = 0; idx < my_nodes; ++idx) {
         policy_.process_own_node(part_.node_at(comm_.rank(), idx));
         if ((idx + 1) % options_.node_batch == 0) {
+          check_cancel();
           pump(false);
           recovery_.maybe_checkpoint(false);
         }
@@ -128,6 +136,7 @@ class Driver {
       // Phase 2: serve and wait until every local slot is resolved.
       const auto sp = obs::span(ob_, "drain");
       while (unresolved_ > 0) {
+        check_cancel();
         pump(true);
         recovery_.maybe_checkpoint(false);
       }
@@ -142,10 +151,14 @@ class Driver {
       PAGEN_CHECK(req_buf_.empty() && res_buf_.empty());
       recovery_.maybe_checkpoint(true);
       done_.notify_local_done();
-      while (!done_.stopped()) pump(true);
+      while (!done_.stopped()) {
+        check_cancel();
+        pump(true);
+      }
       res_buf_.flush_all();
     }
 
+    flush_edge_batch();
     comm_.barrier();  // nobody tears down while peers might still poll
   }
 
@@ -235,10 +248,34 @@ class Driver {
   void emit_edge(const graph::Edge& e) {
     if (store_edges_) edges_.push_back(e);
     if (options_.edge_sink) options_.edge_sink(comm_.rank(), e);
+    if (options_.edge_batch_sink) {
+      batch_buf_.push_back(e);
+      if (batch_buf_.size() >= options_.edge_batch_capacity) {
+        flush_edge_batch();
+      }
+    }
     ++load_.edges;
   }
 
  private:
+  /// Cooperative cancellation (docs/serving.md §4): polled at every phase
+  /// boundary and pump round, so a cancel lands within ~kIdleWait even on a
+  /// rank that is only waiting. Throwing here unwinds through run_ranks'
+  /// abort path — peers are woken, nobody wedges — and a buffered batch
+  /// sink simply drops its tail (a cancelled job's stream is truncated by
+  /// contract).
+  void check_cancel() {
+    if (options_.cancel_requested && options_.cancel_requested()) {
+      throw Cancelled();
+    }
+  }
+
+  /// Hand the buffered edges to the batch sink (emission order preserved).
+  void flush_edge_batch() {
+    if (!options_.edge_batch_sink || batch_buf_.empty()) return;
+    options_.edge_batch_sink(comm_.rank(), batch_buf_);
+    batch_buf_.clear();
+  }
   /// Drain and process incoming envelopes; blocking variants sleep briefly
   /// when idle. Ends every processed batch with flush_after_batch().
   void pump(bool blocking) {
@@ -341,6 +378,7 @@ class Driver {
   SlotStore<Request> slots_;
   std::vector<std::vector<Waiter>> waiters_;  ///< Q_{k(,l)} by slot
   graph::EdgeList edges_;
+  graph::EdgeList batch_buf_;  ///< pending edges of the batch sink
   std::vector<mps::Envelope> inbox_;
   mps::SendBuffer<Request> req_buf_;
   mps::SendBuffer<Resolved> res_buf_;

@@ -56,6 +56,11 @@ inline std::shared_ptr<const partition::Partition> make_run_partition(
 /// already validated config and options (the checks differ per algorithm).
 template <typename P>
 ParallelResult launch(const PaConfig& config, const ParallelOptions& options) {
+  // A job cancelled before launch never pays for a partition build or a
+  // world spin-up (the svc worker checks admission-time cancels here).
+  if (options.cancel_requested && options.cancel_requested()) {
+    throw Cancelled();
+  }
   obs::RankObserver* drv = driver_observer(options);
   const auto part = make_run_partition(config.n, options, drv);
 

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 
 #include "graph/edge_list.h"
@@ -16,6 +18,16 @@ class Session;
 }
 
 namespace pagen::core {
+
+/// Thrown out of generate() when ParallelOptions::cancel_requested fires.
+/// Every rank checks the hook in its event-loop phases (genrt/driver.h), so
+/// all ranks unwind cooperatively — the world tears down through the mps
+/// abort path instead of wedging peers that still wait for answers — and
+/// mps::run_ranks rethrows this root cause after all rank threads join.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("generation cancelled") {}
+};
 
 struct ParallelOptions {
   /// Number of ranks (the paper's P). Ranks are runtime threads and may
@@ -68,6 +80,28 @@ struct ParallelOptions {
   /// rank-indexed state). Under a crash plan the sink sees restored edges
   /// again after a recovery (at-least-once); see docs/robustness.md.
   std::function<void(Rank, const graph::Edge&)> edge_sink;
+
+  /// Batched streaming consumption: like edge_sink, but invoked with a span
+  /// of edges each time a rank's flush buffer fills (and once at the end of
+  /// the rank's run with the remainder), in emission order. One indirect
+  /// call per edge_batch_capacity edges instead of one per edge — use this
+  /// for high-volume sinks (docs/serving.md measures the difference with
+  /// BM_EdgeSink*). Same thread-safety contract as edge_sink; both sinks
+  /// may be set and each sees every edge.
+  std::function<void(Rank, std::span<const graph::Edge>)> edge_batch_sink;
+
+  /// Edges buffered per rank between edge_batch_sink flushes (>= 1).
+  std::size_t edge_batch_capacity = 4096;
+
+  /// Cooperative cancellation hook (generation-as-a-service, src/svc/).
+  /// Polled by every rank between node batches and on every drain /
+  /// termination pump round; must be thread-safe and cheap (typically one
+  /// relaxed atomic load). When it returns true each rank throws
+  /// core::Cancelled and the run drains cleanly: the first unwinding rank
+  /// aborts the mps world, which wakes peers blocked in polls or
+  /// collectives, and run_ranks rethrows Cancelled after the join. Null
+  /// (the default) keeps the hook off the hot path entirely.
+  std::function<bool()> cancel_requested;
 
   // --- Robustness (docs/robustness.md) ---
 

@@ -1,0 +1,88 @@
+#include "svc/cache.h"
+
+#include <fstream>
+#include <utility>
+
+#include "graph/sharded_io.h"
+#include "util/error.h"
+
+namespace pagen::svc {
+
+ResultCache::ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+std::shared_ptr<const JobOutput> ResultCache::lookup(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->add();
+    return nullptr;
+  }
+  ++hits_;
+  if (hits_metric_ != nullptr) hits_metric_->add();
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+  return it->second.value;
+}
+
+void ResultCache::insert(std::uint64_t key,
+                         std::shared_ptr<const JobOutput> value) {
+  if (max_entries_ == 0) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh: newer output wins (e.g. a store-served entry upgraded by a
+    // fresh gather run that also carries the targets row).
+    it->second.value = std::move(value);
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    return;
+  }
+  if (entries_.size() >= max_entries_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+    if (evictions_metric_ != nullptr) evictions_metric_->add();
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(value), lru_.begin()});
+}
+
+void ResultCache::bind_metrics(obs::Counter* hits, obs::Counter* misses,
+                               obs::Counter* evictions) {
+  hits_metric_ = hits;
+  misses_metric_ = misses;
+  evictions_metric_ = evictions;
+}
+
+std::string store_marker_path(const std::string& dir) {
+  return dir + "/svc-spec";
+}
+
+void write_store_marker(const std::string& dir, std::uint64_t hash) {
+  std::ofstream os(store_marker_path(dir), std::ios::trunc);
+  PAGEN_CHECK_MSG(os.is_open(),
+                  "cannot write store marker in " << dir);
+  os << "pagen.svc.store.v1 " << std::hex << hash << "\n";
+  PAGEN_CHECK_MSG(os.good(), "store marker write failed in " << dir);
+}
+
+bool store_matches(const std::string& dir, const JobSpec& spec) {
+  std::ifstream is(store_marker_path(dir));
+  if (!is.is_open()) return false;
+  std::string tag;
+  std::uint64_t recorded = 0;
+  is >> tag >> std::hex >> recorded;
+  if (!is || tag != "pagen.svc.store.v1") return false;
+  if (recorded != spec_hash(spec)) return false;
+  try {
+    const graph::ShardManifest manifest = graph::load_manifest(dir);
+    return manifest.num_nodes == spec.config.n &&
+           manifest.total_edges() == expected_edge_count(spec.config);
+  } catch (const CheckError&) {
+    return false;  // absent or torn manifest: a miss, not an error
+  }
+}
+
+}  // namespace pagen::svc

@@ -1,0 +1,84 @@
+// svc layer 3 — the result cache: repeat requests never regenerate.
+//
+// Two serving tiers, both keyed by the canonical spec_hash:
+//
+//  * ResultCache — an in-memory LRU of JobOutputs. Externally synchronized
+//    (the Server's mutex); recency is a virtual access counter, so eviction
+//    order is a deterministic function of the access history, not of
+//    wall-clock.
+//
+//  * Sharded-store probe — a spec whose store_dir already holds a sharded
+//    store (graph/sharded_io.h) *produced by the same spec* is served from
+//    disk without regeneration, surviving process restarts. Provenance is a
+//    marker file recording the producing spec hash next to the manifest;
+//    the manifest alone (num_nodes + counts) could not tell two seeds
+//    apart. See docs/serving.md §3.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "svc/job.h"
+
+namespace pagen::svc {
+
+class ResultCache {
+ public:
+  /// @param max_entries LRU bound; 0 disables the cache (lookup always
+  ///   misses, insert is a no-op) for ablation runs.
+  explicit ResultCache(std::size_t max_entries);
+
+  /// The cached output for `key`, bumping its recency; null on miss.
+  [[nodiscard]] std::shared_ptr<const JobOutput> lookup(std::uint64_t key);
+
+  /// Insert (or refresh) `key`. Evicts the least-recently-used entry when
+  /// the bound is exceeded.
+  void insert(std::uint64_t key, std::shared_ptr<const JobOutput> value);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+  [[nodiscard]] Count hits() const { return hits_; }
+  [[nodiscard]] Count misses() const { return misses_; }
+  [[nodiscard]] Count evictions() const { return evictions_; }
+
+  /// Mirror hit/miss/eviction tallies into obs counters (all may be null).
+  void bind_metrics(obs::Counter* hits, obs::Counter* misses,
+                    obs::Counter* evictions);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const JobOutput> value;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  std::size_t max_entries_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
+  std::map<std::uint64_t, Entry> entries_;
+  Count hits_ = 0;
+  Count misses_ = 0;
+  Count evictions_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
+};
+
+/// Path of the spec-hash marker a completed kShardedStore job writes next
+/// to the manifest.
+[[nodiscard]] std::string store_marker_path(const std::string& dir);
+
+/// Record that `dir`'s sharded store was produced by a spec hashing to
+/// `hash`. Written after the shards and manifest, so a marker implies a
+/// complete store.
+void write_store_marker(const std::string& dir, std::uint64_t hash);
+
+/// True when `dir` holds a complete sharded store produced by `spec`: the
+/// marker matches spec_hash(spec) and the manifest is loadable and
+/// consistent with the spec's node and edge counts. Never throws — any
+/// defect is a probe miss, not an error.
+[[nodiscard]] bool store_matches(const std::string& dir, const JobSpec& spec);
+
+}  // namespace pagen::svc

@@ -1,0 +1,122 @@
+// svc layer 1 — jobs: what a client asks the generation service to do.
+//
+// A JobSpec is one generation request: the PaConfig workload, the runtime
+// knobs that shape the run (ranks, scheme, buffering), where the edges
+// should go (Sink), and the scheduling attributes (priority, virtual-tick
+// deadline). spec_hash() is the canonical identity of the *output* — it
+// covers exactly the fields that determine which graph is generated, and
+// deliberately excludes priority / deadline / sink routing, so a cached
+// result can serve any repeat request for the same graph regardless of how
+// it is scheduled or delivered. See docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/pa_config.h"
+#include "graph/edge_list.h"
+#include "partition/partition.h"
+#include "util/types.h"
+
+namespace pagen::svc {
+
+/// Opaque job ticket returned by Server::submit. 0 is never issued.
+using JobId = std::uint64_t;
+inline constexpr JobId kNoJob = 0;
+
+/// Where a job's edges go.
+enum class Sink : std::uint8_t {
+  kCount,         ///< no edge storage: load statistics / warm-up runs
+  kGather,        ///< edges (and the x = 1 targets row) in the JobOutput
+  kShardedStore,  ///< per-rank shard files + manifest in store_dir
+};
+
+struct JobSpec {
+  PaConfig config;
+
+  // Runtime shape (the ParallelOptions subset a service client may set).
+  int ranks = 4;
+  partition::Scheme scheme = partition::Scheme::kRrp;
+  std::size_t buffer_capacity = 256;
+  std::size_t node_batch = 1024;
+
+  // Delivery.
+  Sink sink = Sink::kGather;
+  /// Sharded-store directory. Required for Sink::kShardedStore; when set on
+  /// any sink it is also probed for an existing matching store at submit
+  /// (docs/serving.md §3). Give distinct specs distinct directories.
+  std::string store_dir;
+
+  // Scheduling (never part of spec_hash).
+  std::uint32_t priority = 0;  ///< higher runs first; FIFO within a priority
+  /// Virtual deadline: the job expires if it has not been dispatched by the
+  /// time this many jobs have been accepted (Server's admission tick), and
+  /// a running job past it is cancelled at the next hook poll. 0 = none.
+  /// Virtual ticks keep every scheduling decision wall-clock free.
+  std::uint64_t deadline = 0;
+};
+
+/// Canonical FNV-1a identity of the graph a spec generates: config fields
+/// plus the runtime knobs that can shape x > 1 output (ranks, scheme,
+/// buffering). Stable across processes and platforms; versioned by a domain
+/// tag so the hash space can be rotated if the schema ever changes.
+[[nodiscard]] std::uint64_t spec_hash(const JobSpec& spec);
+
+/// Spec admission check: empty string = admissible, otherwise the reason
+/// (mirrors the PAGEN_CHECK preconditions of core::generate so an invalid
+/// spec is rejected at submit instead of killing a worker).
+[[nodiscard]] std::string validate(const JobSpec& spec);
+
+enum class JobState : std::uint8_t {
+  kQueued,     ///< admitted, waiting for a worker
+  kRunning,    ///< a worker is generating
+  kCompleted,  ///< terminal: output available
+  kCancelled,  ///< terminal: cancelled before or during generation
+  kExpired,    ///< terminal: virtual deadline passed before dispatch
+  kFailed,     ///< terminal: generation threw (JobStatus::error)
+};
+[[nodiscard]] const char* to_string(JobState s);
+[[nodiscard]] inline bool terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+/// Admission verdicts (reject-with-reason backpressure, docs/serving.md §2).
+enum class Reject : std::uint8_t {
+  kNone,             ///< accepted
+  kQueueFull,        ///< bounded queue at capacity: back off and retry
+  kShuttingDown,     ///< server draining or stopped
+  kInvalidSpec,      ///< validate() failed
+  kDeadlineExpired,  ///< deadline already behind the admission tick
+};
+[[nodiscard]] const char* to_string(Reject r);
+
+/// A completed job's product. Shared immutably between the job record, the
+/// result cache, and every client that polled it.
+struct JobOutput {
+  /// Gathered edges in emission (rank-concatenation) order. Sink::kGather
+  /// only; normalize before comparing across runs.
+  graph::EdgeList edges;
+  /// F_t per node (Sink::kGather with x == 1 on a fresh run; empty when the
+  /// job was served from a sharded store, which persists only edges).
+  std::vector<NodeId> targets;
+  Count total_edges = 0;
+  /// Directory of the sharded store this output lives in (kShardedStore
+  /// jobs and store-served repeats).
+  std::string store_dir;
+};
+
+/// Snapshot returned by Server::poll / wait.
+struct JobStatus {
+  JobState state = JobState::kQueued;
+  /// Served from the result cache or an existing sharded store, without
+  /// running the generators.
+  bool from_cache = false;
+  /// What() of the generation failure (kFailed only).
+  std::string error;
+  /// Non-null exactly when state == kCompleted.
+  std::shared_ptr<const JobOutput> output;
+};
+
+}  // namespace pagen::svc

@@ -1,0 +1,40 @@
+#include "svc/queue.h"
+
+#include "util/error.h"
+
+namespace pagen::svc {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  PAGEN_CHECK_MSG(capacity >= 1, "job queue needs capacity >= 1");
+}
+
+bool JobQueue::push(JobId id, std::uint32_t priority, std::uint64_t seq) {
+  if (full()) return false;
+  const Entry e{priority, seq, id};
+  const bool fresh = ids_.emplace(id, e).second;
+  PAGEN_CHECK_MSG(fresh, "job " << id << " queued twice");
+  order_.insert(e);
+  return true;
+}
+
+JobId JobQueue::peek() const {
+  return order_.empty() ? kNoJob : order_.begin()->id;
+}
+
+JobId JobQueue::pop() {
+  if (order_.empty()) return kNoJob;
+  const Entry e = *order_.begin();
+  order_.erase(order_.begin());
+  ids_.erase(e.id);
+  return e.id;
+}
+
+bool JobQueue::remove(JobId id) {
+  const auto it = ids_.find(id);
+  if (it == ids_.end()) return false;
+  order_.erase(it->second);
+  ids_.erase(it);
+  return true;
+}
+
+}  // namespace pagen::svc

@@ -1,0 +1,60 @@
+// svc layer 2 — the bounded priority job queue.
+//
+// Pure scheduling state, externally synchronized (the Server guards it with
+// its mutex; the unit tests drive it single-threaded). Ordering is total
+// and wall-clock free: higher priority first, FIFO by admission sequence
+// within a priority — so the dispatch order is a deterministic function of
+// the submit history. The bound is the admission-control backpressure
+// valve: push() refuses at capacity and the Server translates that into
+// Reject::kQueueFull instead of buffering unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "svc/job.h"
+
+namespace pagen::svc {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] bool full() const { return ids_.size() >= capacity_; }
+
+  /// Admit a job. False (and no state change) when full; `seq` must be
+  /// unique across the queue's lifetime (the Server uses the job id).
+  bool push(JobId id, std::uint32_t priority, std::uint64_t seq);
+
+  /// Best queued job: highest priority, then lowest seq. kNoJob when empty.
+  [[nodiscard]] JobId peek() const;
+
+  /// Remove and return the best queued job; kNoJob when empty.
+  JobId pop();
+
+  /// Remove a specific job (a cancel of a queued job). False if absent.
+  bool remove(JobId id);
+
+ private:
+  struct Entry {
+    std::uint32_t priority = 0;
+    std::uint64_t seq = 0;
+    JobId id = kNoJob;
+
+    /// std::set order = dispatch order: priority desc, then seq asc.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq < b.seq;
+    }
+  };
+
+  std::size_t capacity_;
+  std::set<Entry> order_;
+  std::map<JobId, Entry> ids_;  ///< reverse index for remove(id)
+};
+
+}  // namespace pagen::svc

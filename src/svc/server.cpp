@@ -1,0 +1,356 @@
+#include "svc/server.h"
+
+#include <exception>
+#include <utility>
+
+#include "core/generate.h"
+#include "graph/sharded_io.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace pagen::svc {
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      cache_(options.cache_entries),
+      paused_(options.start_paused),
+      submits_(&metrics_.counter("svc.submits")),
+      accepted_(&metrics_.counter("svc.accepted")),
+      rejects_all_(&metrics_.counter("svc.rejects")),
+      rejects_queue_full_(&metrics_.counter("svc.rejects_queue_full")),
+      rejects_shutting_down_(&metrics_.counter("svc.rejects_shutting_down")),
+      rejects_invalid_(&metrics_.counter("svc.rejects_invalid_spec")),
+      rejects_deadline_(&metrics_.counter("svc.rejects_deadline_expired")),
+      completed_(&metrics_.counter("svc.completed")),
+      cancelled_(&metrics_.counter("svc.cancelled")),
+      expired_(&metrics_.counter("svc.expired")),
+      failed_(&metrics_.counter("svc.failed")),
+      store_hits_(&metrics_.counter("svc.cache_store_hits")),
+      queue_depth_(&metrics_.gauge("svc.queue_depth")),
+      running_gauge_(&metrics_.gauge("svc.running")),
+      latency_(&metrics_.histogram("svc.job_latency_ns")) {
+  PAGEN_CHECK_MSG(options.workers >= 1, "server needs workers >= 1");
+  cache_.bind_metrics(&metrics_.counter("svc.cache_hits"),
+                      &metrics_.counter("svc.cache_misses"),
+                      &metrics_.counter("svc.cache_evictions"));
+  workers_.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(false); }
+
+Server::Submitted Server::rejected(Reject why) {
+  rejects_all_->add();
+  switch (why) {
+    case Reject::kQueueFull:
+      rejects_queue_full_->add();
+      break;
+    case Reject::kShuttingDown:
+      rejects_shutting_down_->add();
+      break;
+    case Reject::kInvalidSpec:
+      rejects_invalid_->add();
+      break;
+    case Reject::kDeadlineExpired:
+      rejects_deadline_->add();
+      break;
+    case Reject::kNone:
+      break;
+  }
+  return Submitted{kNoJob, why, false};
+}
+
+Server::Submitted Server::serve_completed(
+    const JobSpec& spec, std::uint64_t hash,
+    std::shared_ptr<const JobOutput> output) {
+  const JobId id = next_id_++;
+  auto rec = std::make_shared<Record>();
+  rec->spec = spec;
+  rec->hash = hash;
+  rec->seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec->submit_ns = now_ns();
+  rec->state = JobState::kCompleted;
+  rec->from_cache = true;
+  rec->output = std::move(output);
+  jobs_.emplace(id, std::move(rec));
+  accepted_->add();
+  completed_->add();
+  done_cv_.notify_all();
+  return Submitted{id, Reject::kNone, true};
+}
+
+Server::Submitted Server::submit(const JobSpec& spec) {
+  std::lock_guard lk(mu_);
+  submits_->add();
+  if (draining_) return rejected(Reject::kShuttingDown);
+  if (!validate(spec).empty()) return rejected(Reject::kInvalidSpec);
+  // The job would be accepted at tick() + 1; a deadline already at or
+  // behind the current tick can never be met (docs/serving.md §2).
+  if (spec.deadline != 0 &&
+      ticks_.load(std::memory_order_relaxed) >= spec.deadline) {
+    return rejected(Reject::kDeadlineExpired);
+  }
+
+  const std::uint64_t hash = spec_hash(spec);
+
+  // Tier 1: the in-memory result cache.
+  if (auto cached = cache_.lookup(hash); cached && serves(spec, *cached)) {
+    return serve_completed(spec, hash, std::move(cached));
+  }
+
+  // Tier 2: an existing sharded store produced by this very spec. Any
+  // defect (store deleted between probe and load, torn files) demotes to a
+  // plain miss — the job just generates.
+  if (!spec.store_dir.empty() && store_matches(spec.store_dir, spec)) {
+    try {
+      auto out = std::make_shared<JobOutput>();
+      out->store_dir = spec.store_dir;
+      out->total_edges = graph::load_manifest(spec.store_dir).total_edges();
+      if (spec.sink == Sink::kGather) {
+        // Shards concatenated in rank order == the gather order of a fresh
+        // run, so a store serve is bitwise-identical to generating.
+        out->edges = graph::load_all_shards(spec.store_dir);
+      }
+      store_hits_->add();
+      cache_.insert(hash, out);
+      return serve_completed(spec, hash, std::move(out));
+    } catch (const CheckError&) {
+    }
+  }
+
+  if (queue_.full()) return rejected(Reject::kQueueFull);
+
+  const JobId id = next_id_++;
+  auto rec = std::make_shared<Record>();
+  rec->spec = spec;
+  rec->hash = hash;
+  rec->seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec->submit_ns = now_ns();
+  const bool pushed = queue_.push(id, spec.priority, rec->seq);
+  PAGEN_CHECK_MSG(pushed, "queue rejected a push below capacity");
+  jobs_.emplace(id, std::move(rec));
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  accepted_->add();
+  work_cv_.notify_one();
+  return Submitted{id, Reject::kNone, false};
+}
+
+bool Server::serves(const JobSpec& spec, const JobOutput& out) {
+  switch (spec.sink) {
+    case Sink::kCount:
+      return true;  // only the tallies are needed; any shape has them
+    case Sink::kGather:
+      return !out.edges.empty() || out.total_edges == 0;
+    case Sink::kShardedStore:
+      return out.store_dir == spec.store_dir;
+  }
+  return false;
+}
+
+void Server::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+    if (stop_ && queue_.empty()) return;
+    const JobId id = queue_.pop();
+    if (id == kNoJob) continue;  // raced with another worker or a cancel
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    const std::shared_ptr<Record> rec = jobs_.at(id);
+
+    // Dispatch-time gates: a cancel that raced the pop, then the virtual
+    // deadline — both terminal without ever spinning up ranks.
+    if (rec->cancel.load(std::memory_order_relaxed)) {
+      rec->state = JobState::kCancelled;
+      cancelled_->add();
+      done_cv_.notify_all();
+      continue;
+    }
+    if (rec->spec.deadline != 0 &&
+        ticks_.load(std::memory_order_relaxed) > rec->spec.deadline) {
+      rec->state = JobState::kExpired;
+      expired_->add();
+      done_cv_.notify_all();
+      continue;
+    }
+
+    rec->state = JobState::kRunning;
+    ++running_;
+    running_gauge_->set(running_);
+    lk.unlock();
+    run_job(rec);
+    lk.lock();
+    --running_;
+    running_gauge_->set(running_);
+    done_cv_.notify_all();
+  }
+}
+
+void Server::run_job(const std::shared_ptr<Record>& rec) {
+  const JobSpec& spec = rec->spec;  // immutable once admitted
+  core::ParallelOptions opt;
+  opt.ranks = spec.ranks;
+  opt.scheme = spec.scheme;
+  opt.buffer_capacity = spec.buffer_capacity;
+  opt.node_batch = spec.node_batch;
+  opt.gather_edges = spec.sink == Sink::kGather;
+  opt.keep_shards = spec.sink == Sink::kShardedStore;
+  opt.cancel_requested = [rec] {
+    return rec->cancel.load(std::memory_order_relaxed);
+  };
+
+  JobState final_state = JobState::kCompleted;
+  std::string error;
+  std::shared_ptr<JobOutput> out;
+  try {
+    core::ParallelResult result = core::generate(spec.config, opt);
+    out = std::make_shared<JobOutput>();
+    out->edges = std::move(result.edges);
+    out->targets = std::move(result.targets);
+    out->total_edges = result.total_edges;
+    if (spec.sink == Sink::kShardedStore) {
+      graph::save_sharded(spec.store_dir, spec.config.n, result.shards);
+      write_store_marker(spec.store_dir, rec->hash);
+      out->store_dir = spec.store_dir;
+    }
+  } catch (const core::Cancelled&) {
+    final_state = JobState::kCancelled;
+  } catch (const std::exception& e) {
+    final_state = JobState::kFailed;
+    error = e.what();
+  }
+
+  std::lock_guard lk(mu_);
+  rec->state = final_state;
+  rec->error = std::move(error);
+  switch (final_state) {
+    case JobState::kCompleted:
+      rec->output = std::move(out);
+      cache_.insert(rec->hash, rec->output);
+      completed_->add();
+      latency_->observe(static_cast<std::uint64_t>(now_ns() - rec->submit_ns));
+      break;
+    case JobState::kCancelled:
+      cancelled_->add();
+      break;
+    default:
+      failed_->add();
+      break;
+  }
+  done_cv_.notify_all();
+}
+
+JobStatus Server::poll(JobId id) const {
+  std::lock_guard lk(mu_);
+  const auto it = jobs_.find(id);
+  PAGEN_CHECK_MSG(it != jobs_.end(), "poll of unknown job " << id);
+  const Record& rec = *it->second;
+  JobStatus status;
+  status.state = rec.state;
+  status.from_cache = rec.from_cache;
+  status.error = rec.error;
+  status.output = rec.output;
+  return status;
+}
+
+bool Server::cancel(JobId id) {
+  std::lock_guard lk(mu_);
+  const auto it = jobs_.find(id);
+  PAGEN_CHECK_MSG(it != jobs_.end(), "cancel of unknown job " << id);
+  Record& rec = *it->second;
+  if (terminal(rec.state)) return false;
+  rec.cancel.store(true, std::memory_order_relaxed);
+  if (rec.state == JobState::kQueued) {
+    queue_.remove(id);
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    rec.state = JobState::kCancelled;
+    cancelled_->add();
+    done_cv_.notify_all();
+  }
+  // kRunning: the flag is set; the job's ranks observe it at their next
+  // phase-boundary poll and unwind (docs/serving.md §4). If generation
+  // completes before any rank polls, the job finishes kCompleted — the
+  // output is valid and the cancel was simply too late.
+  return true;
+}
+
+JobStatus Server::wait(JobId id) {
+  std::unique_lock lk(mu_);
+  const auto it = jobs_.find(id);
+  PAGEN_CHECK_MSG(it != jobs_.end(), "wait on unknown job " << id);
+  const std::shared_ptr<Record> rec = it->second;
+  done_cv_.wait(lk, [&] { return terminal(rec->state); });
+  JobStatus status;
+  status.state = rec->state;
+  status.from_cache = rec->from_cache;
+  status.error = rec->error;
+  status.output = rec->output;
+  return status;
+}
+
+void Server::resume() {
+  std::lock_guard lk(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void Server::shutdown(bool drain) {
+  std::unique_lock lk(mu_);
+  if (draining_) {  // a shutdown is (or was) already in flight
+    done_cv_.wait(lk, [&] { return joined_; });
+    return;
+  }
+  draining_ = true;  // admission closed from here on
+  paused_ = false;   // a paused queue must still drain (or be cancelled)
+  if (!drain) {
+    for (JobId id = queue_.pop(); id != kNoJob; id = queue_.pop()) {
+      Record& rec = *jobs_.at(id);
+      rec.cancel.store(true, std::memory_order_relaxed);
+      rec.state = JobState::kCancelled;
+      cancelled_->add();
+    }
+    queue_depth_->set(0);
+    for (auto& entry : jobs_) {
+      if (entry.second->state == JobState::kRunning) {
+        entry.second->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    done_cv_.notify_all();
+  }
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
+  stop_ = true;
+  lk.unlock();
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  lk.lock();
+  joined_ = true;
+  done_cv_.notify_all();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lk(mu_);
+  ServerStats s;
+  s.submits = submits_->value();
+  s.accepted = accepted_->value();
+  s.rejected = rejects_all_->value();
+  s.completed = completed_->value();
+  s.cancelled = cancelled_->value();
+  s.expired = expired_->value();
+  s.failed = failed_->value();
+  s.cache_hits = cache_.hits();
+  s.cache_store_hits = store_hits_->value();
+  s.cache_misses = cache_.misses();
+  s.queue_depth = queue_.size();
+  s.running = running_;
+  return s;
+}
+
+void Server::write_metrics(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  obs::write_metrics_json(os, {&metrics_});
+}
+
+}  // namespace pagen::svc

@@ -1,0 +1,189 @@
+// svc layer 4 — the Server facade: generation as a service.
+//
+// One Server = one admission gate + one bounded priority JobQueue + one
+// WorkerPool draining it through core::generate + one ResultCache serving
+// repeats. The public surface is submit / poll / cancel / wait / shutdown;
+// everything scheduling-relevant is wall-clock free (virtual admission
+// ticks, priority + FIFO ordering, LRU by access counter), so the decision
+// trace is a deterministic function of the call history. Wall-clock is
+// *measured* (job latency histogram) but never consulted.
+//
+// Concurrency model: one mutex guards all server state (queue, records,
+// cache, metrics registry); workers hold it only to transition job states,
+// never while generating. Each running job spawns its spec's rank threads
+// via mps::run_ranks, exactly like a direct generate() call. Cancellation
+// is cooperative: cancel() flips the job's flag, every rank of the running
+// job polls it through ParallelOptions::cancel_requested and unwinds
+// through the mps abort path — the worker survives and takes the next job
+// (docs/serving.md §4).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "svc/cache.h"
+#include "svc/job.h"
+#include "svc/queue.h"
+
+namespace pagen::svc {
+
+struct ServerOptions {
+  /// Concurrent generation jobs (each additionally spawns its spec's rank
+  /// threads while running).
+  int workers = 4;
+
+  /// Bounded queue depth: the admission-control valve. Submits beyond it
+  /// are rejected with Reject::kQueueFull — the client's backpressure
+  /// signal — never buffered.
+  std::size_t queue_capacity = 64;
+
+  /// Result-cache LRU bound (entries). 0 disables caching.
+  std::size_t cache_entries = 32;
+
+  /// Start with dispatch paused: jobs are admitted and queued but no
+  /// worker pops until resume(). Makes admission-order tests and staged
+  /// load patterns deterministic.
+  bool start_paused = false;
+};
+
+/// Point-in-time tallies (a locked snapshot of the obs instruments).
+struct ServerStats {
+  Count submits = 0;    ///< all submit() calls, accepted or not
+  Count accepted = 0;   ///< admitted jobs (queued or cache-served)
+  Count rejected = 0;   ///< admission rejects, all reasons
+  Count completed = 0;  ///< terminal kCompleted (including cache-served)
+  Count cancelled = 0;
+  Count expired = 0;
+  Count failed = 0;
+  Count cache_hits = 0;        ///< memory-cache serves
+  Count cache_store_hits = 0;  ///< sharded-store serves
+  Count cache_misses = 0;
+  std::size_t queue_depth = 0;
+  int running = 0;
+};
+
+class Server {
+ public:
+  struct Submitted {
+    JobId id = kNoJob;           ///< kNoJob exactly when rejected
+    Reject reject = Reject::kNone;
+    bool from_cache = false;     ///< completed instantly from cache/store
+  };
+
+  explicit Server(ServerOptions options);
+  ~Server();  ///< cancel-everything shutdown if none was requested
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admission: validate, check the deadline against the admission tick,
+  /// try the result cache and the sharded-store probe, then queue. Rejects
+  /// carry a reason and leave no record (retry later). A cache/store hit
+  /// returns an already-completed job.
+  Submitted submit(const JobSpec& spec);
+
+  /// Snapshot of a job's state. The id must have been issued by submit().
+  [[nodiscard]] JobStatus poll(JobId id) const;
+
+  /// Cancel a job: a queued job terminates kCancelled immediately; a
+  /// running job gets its cooperative flag set and terminates kCancelled
+  /// once its ranks drain (the worker survives). False when the job is
+  /// already terminal.
+  bool cancel(JobId id);
+
+  /// Block until the job is terminal; returns the final status.
+  JobStatus wait(JobId id);
+
+  /// Open the dispatch gate of a start_paused server (idempotent).
+  void resume();
+
+  /// Stop the server. drain = true: stop admitting, finish every queued
+  /// and running job, then join the workers. drain = false: cancel every
+  /// queued job, flag every running job for cooperative cancellation, and
+  /// join once they drain. Idempotent; the destructor calls
+  /// shutdown(false) if neither was requested.
+  void shutdown(bool drain);
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Deterministic obs-metrics JSON of the service instruments
+  /// (svc.queue_depth, svc.cache_hits, svc.job_latency_ns, ...).
+  void write_metrics(std::ostream& os) const;
+
+  /// The current admission tick (accepted-job count): the clock that
+  /// JobSpec::deadline is measured against.
+  [[nodiscard]] std::uint64_t tick() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Record {
+    JobSpec spec;
+    std::uint64_t hash = 0;
+    std::uint64_t seq = 0;  ///< admission tick at accept (queue tie-break)
+    std::int64_t submit_ns = 0;
+    JobState state = JobState::kQueued;
+    bool from_cache = false;
+    std::string error;
+    std::shared_ptr<const JobOutput> output;
+    std::atomic<bool> cancel{false};
+  };
+
+  void worker_loop();
+  /// Generate outside the lock; finalizes the record (state, output,
+  /// cache insert, metrics) under the lock.
+  void run_job(const std::shared_ptr<Record>& rec);
+  /// Can `out` satisfy a request shaped like `spec`?
+  [[nodiscard]] static bool serves(const JobSpec& spec, const JobOutput& out);
+  /// Tally one admission reject (mu_ held).
+  Submitted rejected(Reject why);
+  /// Install an already-completed record for a cache/store serve
+  /// (mu_ held).
+  Submitted serve_completed(const JobSpec& spec, std::uint64_t hash,
+                            std::shared_ptr<const JobOutput> output);
+
+  ServerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue / stop / resume
+  std::condition_variable done_cv_;  ///< waiters: job transitions, drain
+  JobQueue queue_;
+  ResultCache cache_;
+  std::map<JobId, std::shared_ptr<Record>> jobs_;
+  JobId next_id_ = 1;
+  std::atomic<std::uint64_t> ticks_{0};
+  bool paused_ = false;
+  bool draining_ = false;  ///< admission closed
+  bool stop_ = false;      ///< workers exit when the queue is empty
+  bool joined_ = false;
+  int running_ = 0;
+
+  // Obs instruments (registry and instruments mutated under mu_ only).
+  obs::MetricsRegistry metrics_;
+  obs::Counter* submits_;
+  obs::Counter* accepted_;
+  obs::Counter* rejects_all_;
+  obs::Counter* rejects_queue_full_;
+  obs::Counter* rejects_shutting_down_;
+  obs::Counter* rejects_invalid_;
+  obs::Counter* rejects_deadline_;
+  obs::Counter* completed_;
+  obs::Counter* cancelled_;
+  obs::Counter* expired_;
+  obs::Counter* failed_;
+  obs::Counter* store_hits_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* running_gauge_;
+  obs::Histogram* latency_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pagen::svc

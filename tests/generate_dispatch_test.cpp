@@ -1,0 +1,59 @@
+// Pins the generate() front door's x == 1 dispatch (ISSUE 5 satellite): the
+// facade now routes x == 1 configs straight to generate_pa_x1 instead of
+// always entering the general path, and both routes must produce identical
+// output so the shortcut is unobservable to callers.
+#include <gtest/gtest.h>
+
+#include "core/generate.h"
+#include "graph/edge_list.h"
+
+namespace pagen::core {
+namespace {
+
+/// Edge sets are deterministic; per-rank emission order is not. Compare
+/// the normalized ((min,max), sorted) lists, as the golden suite does.
+graph::EdgeList normalized(graph::EdgeList edges) {
+  graph::normalize(edges);
+  return edges;
+}
+
+TEST(GenerateDispatch, BothRoutesIdenticalForX1) {
+  for (const int ranks : {1, 3, 4}) {
+    for (const std::uint64_t seed : {1ULL, 42ULL}) {
+      PaConfig cfg;
+      cfg.n = 500;
+      cfg.x = 1;
+      cfg.seed = seed;
+      ParallelOptions opt;
+      opt.ranks = ranks;
+
+      const ParallelResult front = generate(cfg, opt);
+      const ParallelResult direct = generate_pa_x1(cfg, opt);
+      const ParallelResult general = generate_pa_general(cfg, opt);
+
+      EXPECT_EQ(normalized(front.edges), normalized(direct.edges))
+          << "P=" << ranks << " s=" << seed;
+      EXPECT_EQ(front.targets, direct.targets);
+      EXPECT_EQ(normalized(front.edges), normalized(general.edges))
+          << "the general front door's x == 1 delegation must agree";
+      EXPECT_EQ(front.targets, general.targets);
+      EXPECT_EQ(front.total_edges, cfg.n - 1);
+    }
+  }
+}
+
+TEST(GenerateDispatch, GeneralPathStillOwnsXAboveOne) {
+  PaConfig cfg;
+  cfg.n = 200;
+  cfg.x = 3;
+  cfg.seed = 5;
+  ParallelOptions opt;
+  opt.ranks = 2;
+  const ParallelResult front = generate(cfg, opt);
+  const ParallelResult general = generate_pa_general(cfg, opt);
+  EXPECT_EQ(normalized(front.edges), normalized(general.edges));
+  EXPECT_EQ(front.total_edges, expected_edge_count(cfg));
+}
+
+}  // namespace
+}  // namespace pagen::core

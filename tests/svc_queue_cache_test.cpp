@@ -1,0 +1,283 @@
+// Unit coverage of the svc building blocks below the Server facade: JobSpec
+// hashing/validation, the bounded priority JobQueue, the LRU ResultCache,
+// and the sharded-store provenance marker (docs/serving.md §2–3).
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/generate.h"
+#include "graph/sharded_io.h"
+#include "obs/metrics.h"
+#include "svc/cache.h"
+#include "svc/job.h"
+#include "svc/queue.h"
+
+namespace pagen::svc {
+namespace {
+
+JobSpec small_spec() {
+  JobSpec spec;
+  spec.config.n = 64;
+  spec.config.x = 1;
+  spec.config.seed = 7;
+  spec.ranks = 2;
+  return spec;
+}
+
+// --- JobSpec: hash + validation ---
+
+TEST(SpecHash, CoversEveryOutputShapingField) {
+  const JobSpec base = small_spec();
+  const std::uint64_t h = spec_hash(base);
+  EXPECT_EQ(h, spec_hash(base)) << "hash must be pure";
+
+  JobSpec s = base;
+  s.config.n = 65;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.config.x = 2;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.config.p = 0.25;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.config.seed = 8;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.ranks = 3;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.scheme = partition::Scheme::kUcp;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.buffer_capacity = 17;
+  EXPECT_NE(spec_hash(s), h);
+  s = base;
+  s.node_batch = 5;
+  EXPECT_NE(spec_hash(s), h);
+}
+
+TEST(SpecHash, IgnoresSchedulingAndDelivery) {
+  const JobSpec base = small_spec();
+  JobSpec s = base;
+  s.priority = 9;
+  s.deadline = 100;
+  s.sink = Sink::kCount;
+  s.store_dir = "/tmp/elsewhere";
+  EXPECT_EQ(spec_hash(s), spec_hash(base))
+      << "how a job is scheduled or delivered must not change its identity";
+}
+
+TEST(SpecValidate, AcceptsAndRejects) {
+  EXPECT_EQ(validate(small_spec()), "");
+
+  JobSpec s = small_spec();
+  s.config.x = 0;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.config.n = 1;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.config.x = 4;
+  s.config.n = 4;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.config.p = 1.5;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.config.x = 4;
+  s.config.p = 1.0;
+  EXPECT_NE(validate(s), "") << "p == 1 diverges for x > 1";
+  s = small_spec();
+  s.ranks = 0;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.ranks = 128;
+  EXPECT_NE(validate(s), "") << "more ranks than nodes";
+  s = small_spec();
+  s.buffer_capacity = 0;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.node_batch = 0;
+  EXPECT_NE(validate(s), "");
+  s = small_spec();
+  s.sink = Sink::kShardedStore;
+  EXPECT_NE(validate(s), "") << "sharded sink without a directory";
+}
+
+TEST(JobEnums, StringsAndTerminality) {
+  EXPECT_STREQ(to_string(JobState::kQueued), "queued");
+  EXPECT_STREQ(to_string(JobState::kCompleted), "completed");
+  EXPECT_STREQ(to_string(Reject::kQueueFull), "queue-full");
+  EXPECT_FALSE(terminal(JobState::kQueued));
+  EXPECT_FALSE(terminal(JobState::kRunning));
+  EXPECT_TRUE(terminal(JobState::kCompleted));
+  EXPECT_TRUE(terminal(JobState::kCancelled));
+  EXPECT_TRUE(terminal(JobState::kExpired));
+  EXPECT_TRUE(terminal(JobState::kFailed));
+}
+
+// --- JobQueue ---
+
+TEST(JobQueue, PriorityThenFifo) {
+  JobQueue q(8);
+  // seq doubles as the admission order.
+  EXPECT_TRUE(q.push(1, /*priority=*/0, /*seq=*/1));
+  EXPECT_TRUE(q.push(2, /*priority=*/5, /*seq=*/2));
+  EXPECT_TRUE(q.push(3, /*priority=*/5, /*seq=*/3));
+  EXPECT_TRUE(q.push(4, /*priority=*/1, /*seq=*/4));
+  EXPECT_EQ(q.peek(), 2u) << "highest priority first";
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.pop(), 3u) << "FIFO within a priority";
+  EXPECT_EQ(q.pop(), 4u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), kNoJob);
+  EXPECT_EQ(q.peek(), kNoJob);
+}
+
+TEST(JobQueue, BoundIsTheBackpressureValve) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(1, 0, 1));
+  EXPECT_TRUE(q.push(2, 0, 2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(3, 9, 3)) << "priority does not override the bound";
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_TRUE(q.push(3, 9, 3)) << "space freed by pop readmits";
+}
+
+TEST(JobQueue, RemoveIsACancelOfAQueuedJob) {
+  JobQueue q(4);
+  q.push(1, 0, 1);
+  q.push(2, 0, 2);
+  q.push(3, 0, 3);
+  EXPECT_TRUE(q.remove(2));
+  EXPECT_FALSE(q.remove(2)) << "already gone";
+  EXPECT_FALSE(q.remove(99)) << "never queued";
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+// --- ResultCache ---
+
+std::shared_ptr<const JobOutput> output_of(Count edges) {
+  auto out = std::make_shared<JobOutput>();
+  out->total_edges = edges;
+  return out;
+}
+
+TEST(ResultCache, LruEvictionOrderFollowsAccessHistory) {
+  ResultCache cache(2);
+  cache.insert(1, output_of(10));
+  cache.insert(2, output_of(20));
+  ASSERT_NE(cache.lookup(1), nullptr);  // 1 is now the most recent
+  cache.insert(3, output_of(30));      // evicts 2, the least recent
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, RefreshKeepsOneEntryAndNewestValue) {
+  ResultCache cache(2);
+  cache.insert(1, output_of(10));
+  cache.insert(1, output_of(11));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto out = cache.lookup(1);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->total_edges, 11u) << "newer output wins";
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.insert(1, output_of(10));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, MirrorsTalliesIntoObsCounters) {
+  obs::MetricsRegistry reg;
+  ResultCache cache(1);
+  cache.bind_metrics(&reg.counter("svc.cache_hits"),
+                     &reg.counter("svc.cache_misses"),
+                     &reg.counter("svc.cache_evictions"));
+  cache.insert(1, output_of(10));
+  (void)cache.lookup(1);
+  (void)cache.lookup(2);
+  cache.insert(2, output_of(20));  // evicts 1
+  EXPECT_EQ(reg.counter("svc.cache_hits").value(), 1u);
+  EXPECT_EQ(reg.counter("svc.cache_misses").value(), 1u);
+  EXPECT_EQ(reg.counter("svc.cache_evictions").value(), 1u);
+}
+
+// --- Sharded-store provenance marker ---
+
+class StoreMarkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pagen_svc_store_" + std::to_string(counter_++)))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  static int counter_;
+};
+int StoreMarkerTest::counter_ = 0;
+
+TEST_F(StoreMarkerTest, CompleteStoreWithMatchingMarkerServes) {
+  JobSpec spec = small_spec();
+  spec.store_dir = dir_;
+
+  core::ParallelOptions opt;
+  opt.ranks = spec.ranks;
+  opt.scheme = spec.scheme;
+  opt.gather_edges = false;
+  opt.keep_shards = true;
+  const auto result = core::generate(spec.config, opt);
+  graph::save_sharded(dir_, spec.config.n, result.shards);
+  write_store_marker(dir_, spec_hash(spec));
+
+  EXPECT_TRUE(store_matches(dir_, spec));
+
+  JobSpec other = spec;
+  other.config.seed = 99;
+  EXPECT_FALSE(store_matches(dir_, other))
+      << "the manifest alone cannot tell two seeds apart — the marker must";
+}
+
+TEST_F(StoreMarkerTest, MissingPiecesAreAMissNotAnError) {
+  JobSpec spec = small_spec();
+  spec.store_dir = dir_;
+  EXPECT_FALSE(store_matches(dir_, spec)) << "directory does not even exist";
+
+  // Marker alone, no manifest/shards: still a miss.
+  std::filesystem::create_directories(dir_);
+  write_store_marker(dir_, spec_hash(spec));
+  EXPECT_FALSE(store_matches(dir_, spec));
+
+  // Corrupt marker next to a real store: a miss.
+  core::ParallelOptions opt;
+  opt.ranks = spec.ranks;
+  opt.gather_edges = false;
+  opt.keep_shards = true;
+  const auto result = core::generate(spec.config, opt);
+  graph::save_sharded(dir_, spec.config.n, result.shards);
+  {
+    std::ofstream os(store_marker_path(dir_), std::ios::trunc);
+    os << "not-a-marker\n";
+  }
+  EXPECT_FALSE(store_matches(dir_, spec));
+}
+
+}  // namespace
+}  // namespace pagen::svc
