@@ -4,6 +4,8 @@
 // scaling_model.h.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <span>
@@ -11,9 +13,12 @@
 #include "baseline/ba_batagelj_brandes.h"
 #include "graph/edge_list.h"
 #include "baseline/copy_model_seq.h"
+#include "core/generate.h"
 #include "core/genrt/protocol.h"
 #include "core/genrt/slot_store.h"
 #include "mps/mailbox.h"
+#include "obs/config.h"
+#include "obs/session.h"
 #include "partition/partition.h"
 #include "rng/counter_rng.h"
 #include "rng/xoshiro.h"
@@ -238,6 +243,83 @@ void BM_EdgeSinkBatched(benchmark::State& state) {
                           static_cast<std::int64_t>(kSinkEdges));
 }
 BENCHMARK(BM_EdgeSinkBatched)->Unit(benchmark::kMillisecond);
+
+// --- Driver pump with causal stamping off vs on: the full x = 1
+// distributed generation (2 ranks, observed session) so the measured loop
+// is the real Driver::pump dispatch, not a synthetic one. The "off" run is
+// the zero-cost contract of ISSUE 6: with Config::causal unset the driver
+// never touches Envelope::causal, so the two runs must move byte-identical
+// payload traffic and the "off" run must record zero stamps — asserted
+// once at registration, alongside the throughput comparison.
+
+constexpr NodeId kPumpNodes = 50000;
+
+struct PumpTraffic {
+  Count bytes = 0;
+  Count stamps = 0;
+};
+
+PumpTraffic run_observed_pump(bool causal) {
+  obs::Config cfg;
+  cfg.enabled = true;
+  cfg.causal = causal;
+  obs::Session session(2, cfg);
+  core::ParallelOptions opt;
+  opt.ranks = 2;
+  opt.gather_edges = false;
+  opt.obs = &session;
+  const PaConfig pa{.n = kPumpNodes, .x = 1, .p = 0.5, .seed = 7};
+  (void)core::generate(pa, opt);
+  obs::MetricsRegistry totals;
+  for (int r = 0; r < session.nranks(); ++r) {
+    totals.merge(session.rank(r).metrics());
+  }
+  PumpTraffic t;
+  t.bytes = totals.counters().at("mps.bytes_sent").value();
+  const auto it = totals.counters().find("mps.causal_stamps");
+  t.stamps = it == totals.counters().end() ? 0 : it->second.value();
+  return t;
+}
+
+/// Hard zero-cost check run once before the timed comparison: aborts the
+/// bench binary if the disabled path stamped anything or changed traffic.
+void assert_causal_zero_cost() {
+  static bool checked = false;
+  if (checked) return;
+  checked = true;
+  const PumpTraffic off = run_observed_pump(false);
+  const PumpTraffic on = run_observed_pump(true);
+  if (off.stamps != 0 || on.stamps == 0 || off.bytes != on.bytes) {
+    std::fprintf(stderr,
+                 "causal zero-cost contract violated: off {bytes=%llu, "
+                 "stamps=%llu} vs on {bytes=%llu, stamps=%llu}\n",
+                 static_cast<unsigned long long>(off.bytes),
+                 static_cast<unsigned long long>(off.stamps),
+                 static_cast<unsigned long long>(on.bytes),
+                 static_cast<unsigned long long>(on.stamps));
+    std::abort();
+  }
+}
+
+void BM_DriverPumpCausalOff(benchmark::State& state) {
+  assert_causal_zero_cost();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_observed_pump(false).bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPumpNodes));
+}
+BENCHMARK(BM_DriverPumpCausalOff)->Unit(benchmark::kMillisecond);
+
+void BM_DriverPumpCausalOn(benchmark::State& state) {
+  assert_causal_zero_cost();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_observed_pump(true).bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPumpNodes));
+}
+BENCHMARK(BM_DriverPumpCausalOn)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -24,6 +24,8 @@
 
 #include "core/generate.h"
 #include "graph/edge_list.h"
+#include "obs/config.h"
+#include "obs/session.h"
 #include "rng/splitmix.h"
 #include "svc/server.h"
 #include "util/cli.h"
@@ -118,9 +120,11 @@ std::uint64_t percentile(std::vector<std::uint64_t>& v, double q) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv,
-                {"jobs", "workers", "queue", "cache", "scale", "seed",
-                 "cancel-every", "hot-specs", "out"});
+  std::vector<std::string> keys = {"jobs",         "workers",   "queue",
+                                   "cache",        "scale",     "seed",
+                                   "cancel-every", "hot-specs", "out"};
+  for (const std::string& k : obs::cli_keys()) keys.push_back(k);
+  const Cli cli(argc, argv, std::move(keys));
   if (cli.help()) {
     std::cout << cli.usage("svc_throughput") << "\n";
     return 0;
@@ -202,7 +206,40 @@ int main(int argc, char** argv) {
   server.shutdown(true);
   const double wall_secs = wall.seconds();
 
+  // Live service telemetry exports: the server's own svc.* registry (latency
+  // stage histograms, admission counters) as deterministic JSON and/or
+  // Prometheus text, plus an instrumented replay of one representative spec
+  // when a causal trace was requested.
+  const obs::Config obs_cfg = obs::config_from_cli(cli);
+  if (!obs_cfg.metrics_out.empty()) {
+    std::ofstream ms(obs_cfg.metrics_out, std::ios::trunc);
+    server.write_metrics(ms);
+  }
+  if (!obs_cfg.prom_out.empty()) {
+    std::ofstream ps(obs_cfg.prom_out, std::ios::trunc);
+    server.write_prometheus(ps);
+  }
+  if (!obs_cfg.trace_out.empty()) {
+    // The replay session owns only the trace artifact — metrics/prom above
+    // come from the server's own registry, and a Session pre-truncates
+    // every output path it is configured with.
+    obs::Config replay_cfg = obs_cfg;
+    replay_cfg.metrics_out.clear();
+    replay_cfg.prom_out.clear();
+    const svc::JobSpec spec = make_spec(scale, /*variant=*/0, /*seed=*/1);
+    obs::Session session(spec.ranks, replay_cfg);
+    core::ParallelOptions opt;
+    opt.ranks = spec.ranks;
+    opt.scheme = spec.scheme;
+    opt.buffer_capacity = spec.buffer_capacity;
+    opt.node_batch = spec.node_batch;
+    opt.obs = &session;
+    (void)core::generate(spec.config, opt);
+    (void)session.export_files();
+  }
+
   const svc::ServerStats stats = server.stats();
+  const std::vector<std::string> incidents = server.incidents();
   const Count terminal = stats.completed + stats.cancelled + stats.expired +
                          stats.failed;
   const bool all_terminal = terminal == stats.accepted;
@@ -241,7 +278,8 @@ int main(int argc, char** argv) {
      << "    \"cache_store_hits\": " << stats.cache_store_hits << ",\n"
      << "    \"cache_misses\": " << stats.cache_misses << ",\n"
      << "    \"hashes_verified\": " << verified << ",\n"
-     << "    \"hashes_mismatched\": " << mismatched << "\n"
+     << "    \"hashes_mismatched\": " << mismatched << ",\n"
+     << "    \"incidents\": " << incidents.size() << "\n"
      << "  },\n"
      << "  \"acceptance\": \"" << (ok ? "PASS" : "FAIL")
      << ": zero wedged workers, cache hits > 0, every completed gather job "
@@ -253,7 +291,8 @@ int main(int argc, char** argv) {
             << " expired / " << stats.failed << " failed in "
             << wall_secs << " s (" << jobs_per_sec << " jobs/s); "
             << "cache hits " << stats.cache_hits << ", verified "
-            << verified << ", mismatched " << mismatched << " -> "
+            << verified << ", mismatched " << mismatched << ", incidents "
+            << incidents.size() << " -> "
             << (ok ? "PASS" : "FAIL") << " (" << out_path << ")\n";
   return ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "graph/io.h"
 #include "graph/sharded_io.h"
 #include "graph/varint_io.h"
+#include "obs/config.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> keys{"n",   "x",      "ranks", "seed", "scheme",
                                 "out", "format", "p",     "sharded"};
   for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
+  for (const std::string& k : obs::cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, keys);
   if (cli.help()) {
     std::cout << cli.usage("massive_generation") << "\n";
@@ -51,6 +55,16 @@ int main(int argc, char** argv) {
   opt.gather_edges = !out.empty();
   opt.keep_shards = !sharded.empty();
   core::apply_robustness_cli(cli, opt);
+
+  // Observability: --trace-out/--metrics-out/--prom-out instrument the run
+  // (optionally with --causal=1 dependency-chain stamps) at zero cost when
+  // none of the flags is given.
+  const obs::Config obs_cfg = obs::config_from_cli(cli);
+  std::optional<obs::Session> session;
+  if (obs_cfg.enabled) {
+    session.emplace(opt.ranks, obs_cfg);
+    opt.obs = &*session;
+  }
 
   // Statistics mode: no gather, no shards — stream the edges through the
   // batched span sink instead. Each rank thread owns its slot, so the
@@ -92,6 +106,11 @@ int main(int argc, char** argv) {
   if (result.respawns > 0) {
     std::cout << "recovered from " << result.respawns
               << " injected crash(es) via respawn\n";
+  }
+  if (session) {
+    for (const std::string& path : session->export_files()) {
+      std::cout << "wrote observability artifact " << path << "\n";
+    }
   }
 
   if (!out.empty()) {

@@ -59,6 +59,10 @@ struct Waiter {
   std::uint32_t e = 0;
   Rank owner = 0;
   std::uint32_t round = 0;
+  /// Causal root-slot id of the parked remote request (0 = untraced: node 0
+  /// never requests, so 0 is never a real root). Filled by the driver from
+  /// the incoming stamp, never by policies.
+  std::uint64_t root = 0;
 };
 
 /// Interval a rank sleeps in poll_wait when it has nothing runnable.
@@ -102,6 +106,11 @@ class Driver {
     if (ob_ != nullptr) {
       wait_depth_hist_ = &ob_->metrics().histogram("pa.wait_queue_depth");
       mailbox_gauge_ = &ob_->metrics().gauge("mps.mailbox_depth");
+      if (ob_->causal()) {
+        causal_ = true;
+        chain_len_hist_ = &ob_->metrics().histogram("pa.chain_length");
+        depth_.assign(slots_.size(), 0);
+      }
     }
   }
 
@@ -191,10 +200,27 @@ class Driver {
   /// pre-counts its open slots instead).
   void add_open_slot() { ++unresolved_; }
 
+  /// Globally unique causal id of node `t`'s slot `slot`: t * spn + e. For
+  /// x = 1 this is just t; for x >= 1 it is t * x + e. Used as the flow
+  /// correlation id and the stamp's root across ranks.
+  [[nodiscard]] std::uint64_t causal_root(NodeId t, Count slot) const {
+    return static_cast<std::uint64_t>(t) * spn_ + slot % spn_;
+  }
+
   /// Ship `req` for local slot `slot` to `owner`: buffer it, account it,
   /// and let the slot store remember it (re-offer tracking + latency stamp).
+  /// Under causal tracing the request carries a stamp naming this slot as
+  /// the chain root, and a flow starts on this rank's track — the "s" end
+  /// of the Perfetto arrow that lands on the owner's resolve.
   void send_request(Rank owner, Count slot, const Request& req) {
-    offer_request(owner, req);
+    if (causal_) {
+      const std::uint64_t root = causal_root(req.t, slot);
+      ob_->trace().flow_start("chain", root);
+      req_buf_.add_stamped(owner, req, {root, comm_.rank(), 0});
+      ++load_.requests_sent;
+    } else {
+      offer_request(owner, req);
+    }
     slots_.note_sent(slot, req);
   }
 
@@ -223,24 +249,57 @@ class Driver {
     note_queue_depth(waiters_[slot].size());
   }
 
+  /// Causal hook for policies: the next assign_slot copies its value from
+  /// already-resolved local slot `from_slot`, so the assigned slot extends
+  /// that slot's dependency chain by one. No-op when causal tracing is off.
+  void note_copy_depth(Count from_slot) {
+    if (causal_) pending_depth_ = depth_[from_slot] + 1;
+  }
+
   /// Slot := v. Emits the edge and answers everyone queued on the slot —
   /// locally through the policy (which may retry a duplicate), remotely
   /// with a buffered <resolved>.
+  ///
+  /// Causal bookkeeping: the slot's chain length is the staged
+  /// pending_depth_ (1 for independent resolutions; predecessor + 1 when
+  /// staged by note_copy_depth, the waiter cascade below, or an incoming
+  /// stamp in handle_resolved) — exactly the |D_t| recursion of
+  /// baseline/chain_tracer.cpp, so on deterministic x = 1 runs the
+  /// "pa.chain_length" histogram matches thm33_dependency_chains bit for
+  /// bit. Each resolution also records a chain trace event, and remote
+  /// waiters get their response stamped with this slot's depth.
   void assign_slot(Count slot, NodeId t, NodeId v) {
     PAGEN_CHECK_MSG(!slots_.resolved(slot), "double assign of node " << t);
     slots_.set_value(slot, v);
     PAGEN_CHECK(unresolved_ > 0);
     --unresolved_;
+    std::uint32_t depth = 1;
+    if (causal_) {
+      depth = pending_depth_;
+      pending_depth_ = 1;
+      depth_[slot] = depth;
+      if (t >= 2) {  // the thm33 oracle counts |D_t| for t in [2, n) only
+        chain_len_hist_->observe(depth);
+        ob_->trace().chain("chain_len", causal_root(t, slot), depth);
+      }
+    }
     recovery_.note_resolution();
     emit_edge({t, v});
     auto& q = waiters_[slot];
     for (const Waiter& w : q) {
       if (w.owner == comm_.rank()) {
+        if (causal_) pending_depth_ = depth + 1;
         policy_.deliver_local(w, v);
+      } else if (causal_ && w.root != 0) {
+        ob_->trace().flow_step("chain", w.root);
+        res_buf_.add_stamped(w.owner, policy_.waiter_resolved(w, v),
+                             {w.root, w.owner, depth});
+        ++load_.resolved_sent;
       } else {
         send_resolved(w.owner, policy_.waiter_resolved(w, v));
       }
     }
+    if (causal_) pending_depth_ = 1;
     q.clear();
     q.shrink_to_fit();
   }
@@ -293,11 +352,15 @@ class Driver {
     for (const mps::Envelope& env : inbox_) {
       if (done_.handle(env)) continue;
       if (env.tag == kTagRequest) {
-        mps::for_each_packed<Request>(
-            env.payload, [&](const Request& r) { handle_request(env.src, r); });
+        std::size_t item = 0;
+        mps::for_each_packed<Request>(env.payload, [&](const Request& r) {
+          handle_request(env.src, r, causal_stamp_at(env, item++));
+        });
       } else if (env.tag == kTagResolved) {
-        mps::for_each_packed<Resolved>(
-            env.payload, [&](const Resolved& r) { handle_resolved(r); });
+        std::size_t item = 0;
+        mps::for_each_packed<Resolved>(env.payload, [&](const Resolved& r) {
+          handle_resolved(r, causal_stamp_at(env, item++));
+        });
       } else if (env.tag == kTagRecover) {
         recovery_.on_peer_recover(env.src);
       } else {
@@ -332,27 +395,56 @@ class Driver {
     }
   }
 
+  /// Per-item stamp of a mixed batch, or null when the item is unstamped
+  /// (untraced run, or a recovery re-offer padded with origin = -1).
+  static const mps::CausalStamp* causal_stamp_at(const mps::Envelope& env,
+                                                 std::size_t i) {
+    if (i >= env.causal.size()) return nullptr;
+    const mps::CausalStamp& st = env.causal[i];
+    return st.origin >= 0 ? &st : nullptr;
+  }
+
   /// Owner side of <request> (Lines 12-15 / 17-20): answer from the slot
-  /// store or park the requester.
-  void handle_request(Rank src, const Request& req) {
+  /// store or park the requester. A stamped request continues its flow here
+  /// ("t" on this rank's track); the answer — immediate or deferred via the
+  /// waiter — echoes the root with this slot's chain depth as the hop.
+  void handle_request(Rank src, const Request& req,
+                      const mps::CausalStamp* stamp = nullptr) {
     ++load_.requests_received;
     PAGEN_DCHECK(part_.owner(req.k) == comm_.rank());
     const Count s = policy_.request_slot(req);
+    if (causal_ && stamp != nullptr) ob_->trace().flow_step("chain", stamp->root);
     if (slots_.resolved(s)) {
-      send_resolved(src, policy_.make_resolved(req, slots_.value(s)));
+      if (causal_ && stamp != nullptr) {
+        res_buf_.add_stamped(src, policy_.make_resolved(req, slots_.value(s)),
+                             {stamp->root, src, depth_[s]});
+        ++load_.resolved_sent;
+      } else {
+        send_resolved(src, policy_.make_resolved(req, slots_.value(s)));
+      }
     } else {
-      queue_waiter(s, policy_.request_waiter(req, src));
+      Waiter w = policy_.request_waiter(req, src);
+      if (stamp != nullptr) w.root = stamp->root;
+      queue_waiter(s, w);
     }
   }
 
   /// Requester side of <resolved>: filter (stale rounds after a recovery
   /// re-offer), close the slot-store entry (latency + re-offer bookkeeping),
-  /// then let the policy accept or retry the value.
-  void handle_resolved(const Resolved& res) {
+  /// then let the policy accept or retry the value. A stamped answer ends
+  /// its flow ("f") and stages hop + 1 as the depth of whatever slot the
+  /// policy assigns while applying it.
+  void handle_resolved(const Resolved& res,
+                       const mps::CausalStamp* stamp = nullptr) {
     ++load_.resolved_received;
     if (!policy_.accept_resolved(res)) return;
     slots_.note_answered(policy_.resolved_slot(res));
+    if (causal_ && stamp != nullptr) {
+      ob_->trace().flow_end("chain", stamp->root);
+      pending_depth_ = stamp->hop + 1;
+    }
     policy_.apply_resolved(res);
+    if (causal_) pending_depth_ = 1;
   }
 
   void note_queue_depth(std::size_t depth) {
@@ -374,6 +466,15 @@ class Driver {
   obs::Histogram* chain_hist_;
   obs::Histogram* wait_depth_hist_ = nullptr;
   obs::Gauge* mailbox_gauge_ = nullptr;
+
+  // Causal tracing (ob_ != nullptr && cfg.causal). depth_[s] mirrors the
+  // Theorem 3.3 recursion |D_t|: 1 for an independent resolution, parent + 1
+  // for a copy — staged through pending_depth_ by whichever path knows the
+  // parent (local copy via note_copy_depth, waiter cascade, incoming stamp).
+  obs::Histogram* chain_len_hist_ = nullptr;
+  bool causal_ = false;
+  std::vector<std::uint32_t> depth_;  ///< per-slot chain depth (causal only)
+  std::uint32_t pending_depth_ = 1;   ///< depth the next assign_slot records
 
   SlotStore<Request> slots_;
   std::vector<std::vector<Waiter>> waiters_;  ///< Q_{k(,l)} by slot

@@ -79,12 +79,15 @@ namespace genrt {
 
 /// Wire requirements the runtime places on a policy's message pair: both
 /// trivially copyable (they travel through mps::pack/unpack) and the request
-/// naming the owner-side node `k` the runtime routes and re-offers by.
+/// naming the owner-side node `k` the runtime routes and re-offers by, plus
+/// the requesting node `t` from which the causal tracer derives the global
+/// root-slot id it stamps onto outgoing requests.
 template <typename Req, typename Res>
 concept SlotMessages =
     std::is_trivially_copyable_v<Req> && std::is_trivially_copyable_v<Res> &&
     requires(const Req& req) {
       { req.k } -> std::convertible_to<NodeId>;
+      { req.t } -> std::convertible_to<NodeId>;
     };
 
 static_assert(SlotMessages<RequestX1, ResolvedX1>);

@@ -50,6 +50,7 @@ class X1Policy {
     if (owner == d_.rank()) {
       const Count ks = d_.part().local_index(k);
       if (d_.slots().resolved(ks)) {
+        d_.note_copy_depth(ks);  // F_t extends F_k's dependency chain
         resolve(t, d_.slots().value(ks));
       } else {
         d_.queue_waiter(ks, {.t = t, .owner = d_.rank()});

@@ -160,6 +160,7 @@ class XkPolicy {
       }
       const NodeId v = d_.slots().value(ks);
       if (!is_duplicate(t, v)) {
+        d_.note_copy_depth(ks);  // F_t(e) extends F_k(l)'s dependency chain
         assign(t, e, v);
         return;
       }

@@ -60,6 +60,11 @@ int Comm::size() const { return world_.size(); }
 std::uint32_t Comm::incarnation() const { return world_.epoch(rank_); }
 
 void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
+  send_bytes(dst, tag, std::move(payload), {});
+}
+
+void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload,
+                      std::vector<CausalStamp> stamps) {
   PAGEN_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
   // Abort fast-fail and the fault script run before any accounting, so a
   // send that crashes (InjectedCrash) or fast-fails was never counted.
@@ -68,6 +73,7 @@ void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
   stats_.bytes_sent += payload.size();
   stats_.envelopes_to[static_cast<std::size_t>(dst)] += 1;
   stats_.sent_by_tag[tag] += 1;
+  stats_.causal_stamps += stamps.size();
   if (obs_ != nullptr && obs_->trace().sample_tick()) {
     obs_->trace().instant("send");
   }
@@ -75,11 +81,12 @@ void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload) {
     // The channel stamps seq + epoch (in lockstep with the checker's
     // ledger entry) and owns retransmission until the flow is acked.
     (void)world_.invariants().on_send(rank_, dst, tag);
-    reliable_->send(dst, tag, std::move(payload));
+    reliable_->send(dst, tag, std::move(payload), std::move(stamps));
     return;
   }
   const std::uint64_t seq = world_.invariants().on_send(rank_, dst, tag);
-  world_.mailbox(dst).push(Envelope{rank_, tag, std::move(payload), seq});
+  Envelope env{rank_, tag, std::move(payload), seq, 0, 0, std::move(stamps)};
+  world_.mailbox(dst).push(std::move(env));
 }
 
 bool Comm::poll(std::vector<Envelope>& out) {

@@ -48,12 +48,29 @@ class Comm {
   /// (src, dst) pair.
   void send_bytes(Rank dst, int tag, std::vector<std::byte> payload);
 
+  /// Like send_bytes but attaches one causal stamp per packed payload item
+  /// (obs causal tracing). Stamps ride the envelope's side channel — they
+  /// never enter the payload, so bytes_sent is unchanged — and survive
+  /// retransmission when the reliable channel re-sends the envelope.
+  void send_bytes(Rank dst, int tag, std::vector<std::byte> payload,
+                  std::vector<CausalStamp> stamps);
+
   /// Pack `items` and send as one envelope.
   template <typename T>
   void send_items(Rank dst, int tag, std::span<const T> items) {
     std::vector<std::byte> payload;
     pack(payload, items);
     send_bytes(dst, tag, std::move(payload));
+  }
+
+  /// Pack `items` and send as one causally stamped envelope; `stamps` must
+  /// pair with `items` by index (stamps.size() == items.size()).
+  template <typename T>
+  void send_items(Rank dst, int tag, std::span<const T> items,
+                  std::vector<CausalStamp> stamps) {
+    std::vector<std::byte> payload;
+    pack(payload, items);
+    send_bytes(dst, tag, std::move(payload), std::move(stamps));
   }
 
   template <typename T>

@@ -144,7 +144,7 @@ RunResult run_ranks(int nranks, WorldOptions options,
           world.collectives().poison();
           for (int peer = 0; peer < nranks; ++peer) {
             if (peer != r) {
-              world.deliver_control(peer, Envelope{r, kAbortTag, {}});
+              world.deliver_control(peer, Envelope{r, kAbortTag, {}, 0, 0, 0, {}});
             }
           }
         }

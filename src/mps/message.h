@@ -19,6 +19,18 @@
 
 namespace pagen::mps {
 
+/// Compact causal context for one packed item inside an envelope. When
+/// causal tracing is enabled (obs::Config::causal) the sender attaches one
+/// stamp per packed item; the receiver uses it to continue the dependency
+/// chain (`F_t -> F_k -> ...`, Section 3.3) across ranks and to bind
+/// Perfetto flow events to the originating request. `origin < 0` marks an
+/// absent stamp, so padded slots in a mixed batch are ignored downstream.
+struct CausalStamp {
+  std::uint64_t root = 0;  ///< global slot id of the chain's root request
+  Rank origin = -1;        ///< rank that issued the root request
+  std::uint32_t hop = 0;   ///< chain depth carried by this message
+};
+
 /// One delivered message batch. `payload` holds `payload.size() / sizeof(T)`
 /// packed items of the tag's element type T.
 struct Envelope {
@@ -46,6 +58,13 @@ struct Envelope {
   /// reordering, arrival order cannot be trusted to resynchronize flow
   /// sequences, so the stamp is the only sound filter (mps/reliable.h).
   std::uint32_t dest_epoch = 0;
+
+  /// One causal stamp per packed payload item, in item order. Empty unless
+  /// the sender runs with causal tracing on — an empty vector allocates
+  /// nothing and adds zero wire bytes, so the disabled path stays free.
+  /// Stamps travel beside the payload, never inside it: payload byte counts
+  /// (CommStats::bytes_sent) are identical with tracing on or off.
+  std::vector<CausalStamp> causal;
 };
 
 /// Reserved tag broadcast by the engine when a rank dies: Comm::poll and

@@ -20,13 +20,15 @@ ReliableChannel::ReliableChannel(World& world, Rank rank, std::uint32_t epoch,
   PAGEN_CHECK(rto_base_ns_ > 0 && rto_max_ns_ >= rto_base_ns_);
 }
 
-void ReliableChannel::send(Rank dst, int tag, std::vector<std::byte> payload) {
+void ReliableChannel::send(Rank dst, int tag, std::vector<std::byte> payload,
+                           std::vector<CausalStamp> stamps) {
   PAGEN_CHECK_MSG(tag >= 0, "reliable flows use non-negative tags only");
   const std::uint64_t seq = next_seq_[{dst, tag}]++;
-  Envelope env{rank_, tag, std::move(payload), seq, epoch_,
-               peers_[static_cast<std::size_t>(dst)].epoch};
+  Envelope env{rank_, tag,    std::move(payload),
+               seq,   epoch_, peers_[static_cast<std::size_t>(dst)].epoch,
+               std::move(stamps)};
   retained_[{dst, tag}].push_back(
-      Retained{seq, env.payload, 0, now_ns() + rto_base_ns_});
+      Retained{seq, env.payload, env.causal, 0, now_ns() + rto_base_ns_});
   world_.deliver(dst, std::move(env), /*attempt=*/0, stats_);
 }
 
@@ -130,11 +132,11 @@ std::size_t ReliableChannel::maybe_retransmit() {
     // send: tell the checker so in-flight accounting stays exact. The
     // dest-epoch stamp uses *current* knowledge of the receiver.
     world_.invariants().on_phantom_send(rank_);
-    world_.deliver(
-        flow.first,
-        Envelope{rank_, flow.second, head.payload, head.seq, epoch_,
-                 peers_[static_cast<std::size_t>(flow.first)].epoch},
-        head.attempts, stats_);
+    Envelope copy{rank_,    flow.second,
+                  head.payload, head.seq,
+                  epoch_,   peers_[static_cast<std::size_t>(flow.first)].epoch,
+                  head.causal};
+    world_.deliver(flow.first, std::move(copy), head.attempts, stats_);
     ++n;
   }
   return n;
@@ -180,7 +182,7 @@ void ReliableChannel::flush_acks() {
     stats_.acks_sent += 1;
     world_.deliver_control(
         static_cast<Rank>(src),
-        Envelope{rank_, kAckTag, std::move(payload), 0, epoch_});
+        Envelope{rank_, kAckTag, std::move(payload), 0, epoch_, 0, {}});
   }
 }
 

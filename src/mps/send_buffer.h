@@ -28,23 +28,34 @@ class SendBuffer {
       : comm_(comm),
         tag_(tag),
         capacity_(capacity),
-        buffers_(static_cast<std::size_t>(comm.size())) {
+        buffers_(static_cast<std::size_t>(comm.size())),
+        stamps_(static_cast<std::size_t>(comm.size())) {
     PAGEN_CHECK(capacity >= 1);
   }
 
   /// Queue one item for `dst`; flushes automatically at capacity.
-  void add(Rank dst, const T& item) {
-    auto& buf = buffers_[static_cast<std::size_t>(dst)];
-    buf.push_back(item);
-    ++items_added_;
-    if (buf.size() >= capacity_) flush(dst);
+  void add(Rank dst, const T& item) { add_impl(dst, item, nullptr); }
+
+  /// Queue one causally stamped item for `dst`. Stamped and plain adds may
+  /// mix on the same destination (recovery re-offers are unstamped): once
+  /// any stamp exists, the stamp vector is padded with absent stamps
+  /// (origin < 0) so stamp i always pairs with payload item i.
+  void add_stamped(Rank dst, const T& item, const CausalStamp& stamp) {
+    add_impl(dst, item, &stamp);
   }
 
   /// Send `dst`'s pending items (if any) as one envelope.
   void flush(Rank dst) {
     auto& buf = buffers_[static_cast<std::size_t>(dst)];
     if (buf.empty()) return;
-    comm_.send_items<T>(dst, tag_, buf);
+    auto& stamps = stamps_[static_cast<std::size_t>(dst)];
+    if (stamps.empty()) {
+      comm_.send_items<T>(dst, tag_, buf);
+    } else {
+      stamps.resize(buf.size());
+      comm_.send_items<T>(dst, tag_, buf, std::move(stamps));
+      stamps.clear();
+    }
     ++flushes_;
     buf.clear();
   }
@@ -66,10 +77,24 @@ class SendBuffer {
   [[nodiscard]] Count flushes() const { return flushes_; }
 
  private:
+  void add_impl(Rank dst, const T& item, const CausalStamp* stamp) {
+    auto& buf = buffers_[static_cast<std::size_t>(dst)];
+    buf.push_back(item);
+    ++items_added_;
+    auto& stamps = stamps_[static_cast<std::size_t>(dst)];
+    if (stamp != nullptr || !stamps.empty()) {
+      stamps.resize(buf.size() - 1);  // pad earlier unstamped items as absent
+      stamps.push_back(stamp != nullptr ? *stamp : CausalStamp{});
+    }
+    if (buf.size() >= capacity_) flush(dst);
+  }
+
   Comm& comm_;
   int tag_;
   std::size_t capacity_;
   std::vector<std::vector<T>> buffers_;
+  /// Parallel per-destination causal stamps; empty vector = untraced batch.
+  std::vector<std::vector<CausalStamp>> stamps_;
   Count items_added_ = 0;
   Count flushes_ = 0;
 };

@@ -38,6 +38,11 @@ struct CommStats {
   Count injected_drops = 0;      ///< envelopes the fault injector discarded
   Count injected_dups = 0;       ///< extra copies the fault injector created
 
+  /// Causal stamps attached on the send path (obs causal tracing). Zero in
+  /// untraced runs — the zero-cost-disabled bench asserts exactly that.
+  /// Kept out of bytes_sent: stamps are observer metadata, not traffic.
+  Count causal_stamps = 0;
+
   /// Envelopes sent per destination rank (index = destination). Sized by
   /// Comm to the world size; default-empty when hand-constructed.
   std::vector<Count> envelopes_to;
@@ -61,6 +66,7 @@ struct CommStats {
     duplicates_dropped += o.duplicates_dropped;
     injected_drops += o.injected_drops;
     injected_dups += o.injected_dups;
+    causal_stamps += o.causal_stamps;
     if (envelopes_to.size() < o.envelopes_to.size()) {
       envelopes_to.resize(o.envelopes_to.size(), 0);
     }
@@ -102,6 +108,9 @@ inline void record_metrics(obs::MetricsRegistry& reg, const CommStats& s) {
   }
   if (s.injected_dups != 0) {
     reg.counter("mps.injected_dups").add(s.injected_dups);
+  }
+  if (s.causal_stamps != 0) {
+    reg.counter("mps.causal_stamps").add(s.causal_stamps);
   }
   for (std::size_t dst = 0; dst < s.envelopes_to.size(); ++dst) {
     if (s.envelopes_to[dst] == 0) continue;

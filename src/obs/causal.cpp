@@ -1,0 +1,196 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <ostream>
+
+#include "obs/session.h"
+#include "obs/trace.h"
+
+namespace pagen::obs {
+namespace {
+
+/// One causal event lifted out of its track, ready for global time-order
+/// processing (a flow's start/step/end live on different tracks).
+struct FlowEvent {
+  std::int64_t ts = 0;
+  std::uint64_t id = 0;
+  int track = -1;
+  std::uint8_t order = 0;  ///< s=0, t=1, f=2 — tie-break at equal ts
+};
+
+struct OpenFlow {
+  std::int64_t start_ns = 0;
+  std::int64_t step_ns = -1;
+  int requester = -1;
+  int owner = -1;
+};
+
+bool phase_name(const char* name) {
+  return std::strcmp(name, "generate") == 0 ||
+         std::strcmp(name, "drain") == 0 ||
+         std::strcmp(name, "termination") == 0;
+}
+
+void write_histogram_json(std::ostream& os, const Histogram& h) {
+  os << R"({"count": )" << h.count() << R"(, "sum": )" << h.sum()
+     << R"(, "min": )" << h.min() << R"(, "max": )" << h.max()
+     << R"(, "p50": )" << h.p50() << R"(, "p95": )" << h.p95()
+     << R"(, "p99": )" << h.p99() << R"(, "buckets": [)";
+  bool first = true;
+  for (const Histogram::Bucket& b : h.buckets()) {
+    os << (first ? "" : ", ") << R"({"le": )" << b.upper << R"(, "count": )"
+       << b.count << '}';
+    first = false;
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+ChainReport reconstruct_chains(const std::vector<const Tracer*>& tracers) {
+  ChainReport report;
+  std::vector<FlowEvent> starts, steps, ends;
+  // Phase spans per track, for critical-path attribution.
+  std::map<int, std::vector<TraceEvent>> phases;
+
+  for (const Tracer* t : tracers) {
+    if (t == nullptr) continue;
+    for (const TraceEvent& e : t->events()) {
+      switch (e.kind) {
+        case EventKind::kChain:
+          report.chain_records += 1;
+          report.chain_length.observe(static_cast<std::uint64_t>(e.value));
+          report.max_chain_length = std::max(
+              report.max_chain_length, static_cast<std::uint64_t>(e.value));
+          break;
+        case EventKind::kFlowStart:
+          starts.push_back({e.start_ns, e.id, t->rank(), 0});
+          break;
+        case EventKind::kFlowStep:
+          steps.push_back({e.start_ns, e.id, t->rank(), 1});
+          break;
+        case EventKind::kFlowEnd:
+          ends.push_back({e.start_ns, e.id, t->rank(), 2});
+          break;
+        case EventKind::kSpan:
+          if (phase_name(e.name)) phases[t->rank()].push_back(e);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Replay every flow event in global time order so retry rounds that reuse
+  // an id (x > 1 duplicate-avoidance re-requests) resolve unambiguously:
+  // each start opens a round, the next end on that id closes it.
+  std::vector<FlowEvent> all;
+  all.reserve(starts.size() + steps.size() + ends.size());
+  all.insert(all.end(), starts.begin(), starts.end());
+  all.insert(all.end(), steps.begin(), steps.end());
+  all.insert(all.end(), ends.begin(), ends.end());
+  std::sort(all.begin(), all.end(), [](const FlowEvent& a, const FlowEvent& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.order != b.order) return a.order < b.order;
+    return a.id < b.id;
+  });
+
+  std::map<std::uint64_t, OpenFlow> open;
+  for (const FlowEvent& e : all) {
+    const auto it = open.find(e.id);
+    switch (e.order) {
+      case 0:  // start
+        if (it != open.end()) report.orphan_starts += 1;
+        open[e.id] = OpenFlow{e.ts, -1, e.track, -1};
+        break;
+      case 1:  // step
+        if (it != open.end() && it->second.step_ns < 0) {
+          it->second.step_ns = e.ts;
+          it->second.owner = e.track;
+        }
+        break;
+      default:  // end
+        if (it == open.end()) {
+          report.orphan_ends += 1;
+          break;
+        }
+        {
+          const OpenFlow& f = it->second;
+          const auto dur = static_cast<std::uint64_t>(e.ts - f.start_ns);
+          report.flows += 1;
+          report.flow_ns.observe(dur);
+          if (f.step_ns >= 0) {
+            report.request_hop_ns.observe(
+                static_cast<std::uint64_t>(f.step_ns - f.start_ns));
+            report.resolve_hop_ns.observe(
+                static_cast<std::uint64_t>(e.ts - f.step_ns));
+          }
+          const bool better =
+              static_cast<std::int64_t>(dur) > report.critical.dur_ns ||
+              (static_cast<std::int64_t>(dur) == report.critical.dur_ns &&
+               report.critical.requester >= 0 && e.id < report.critical.id);
+          if (better || report.critical.requester < 0) {
+            report.critical = {e.id,       f.requester,
+                               f.owner,    f.start_ns,
+                               static_cast<std::int64_t>(dur), "none"};
+          }
+        }
+        open.erase(it);
+        break;
+    }
+  }
+  report.orphan_starts += open.size();
+
+  // Attribute the critical flow to the phase span enclosing its start on
+  // the requester's track.
+  if (report.critical.requester >= 0) {
+    const auto it = phases.find(report.critical.requester);
+    if (it != phases.end()) {
+      for (const TraceEvent& span : it->second) {
+        if (span.start_ns <= report.critical.start_ns &&
+            report.critical.start_ns <= span.start_ns + span.dur_ns) {
+          report.critical.phase = span.name;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+ChainReport reconstruct_chains(const Session& session) {
+  std::vector<const Tracer*> tracers;
+  tracers.reserve(static_cast<std::size_t>(session.nranks()) + 1);
+  for (int r = 0; r < session.nranks(); ++r) {
+    tracers.push_back(&session.rank(r).trace());
+  }
+  tracers.push_back(&session.driver().trace());
+  return reconstruct_chains(tracers);
+}
+
+void write_chain_report(std::ostream& os, const ChainReport& r) {
+  os << "{\n"
+     << R"(  "schema": "pagen.chains.v1",)" << "\n"
+     << R"(  "chains": {"records": )" << r.chain_records
+     << R"(, "max_length": )" << r.max_chain_length << R"(, "histogram": )";
+  write_histogram_json(os, r.chain_length);
+  os << "},\n"
+     << R"(  "flows": {"completed": )" << r.flows << R"(, "orphan_starts": )"
+     << r.orphan_starts << R"(, "orphan_ends": )" << r.orphan_ends << ",\n"
+     << R"(    "request_hop_ns": )";
+  write_histogram_json(os, r.request_hop_ns);
+  os << ",\n" << R"(    "resolve_hop_ns": )";
+  write_histogram_json(os, r.resolve_hop_ns);
+  os << ",\n" << R"(    "round_trip_ns": )";
+  write_histogram_json(os, r.flow_ns);
+  os << "},\n"
+     << R"(  "critical_path": {"id": )" << r.critical.id
+     << R"(, "requester": )" << r.critical.requester << R"(, "owner": )"
+     << r.critical.owner << R"(, "start_ns": )" << r.critical.start_ns
+     << R"(, "dur_ns": )" << r.critical.dur_ns << R"(, "phase": ")"
+     << r.critical.phase << R"("})" << "\n}\n";
+}
+
+}  // namespace pagen::obs

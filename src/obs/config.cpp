@@ -6,16 +6,23 @@
 namespace pagen::obs {
 
 std::vector<std::string> cli_keys() {
-  return {"trace-out", "metrics-out", "trace-sample"};
+  return {"trace-out", "metrics-out", "prom-out",
+          "trace-sample", "causal",   "ring-cap"};
 }
 
 Config config_from_cli(const Cli& cli) {
   Config cfg;
   cfg.trace_out = cli.get_str("trace-out", "");
   cfg.metrics_out = cli.get_str("metrics-out", "");
+  cfg.prom_out = cli.get_str("prom-out", "");
   cfg.trace_sample = cli.get_u64("trace-sample", 1);
+  cfg.causal = cli.get_bool("causal", false);
+  cfg.ring_capacity = static_cast<std::size_t>(
+      cli.get_u64("ring-cap", Config{}.ring_capacity));
   PAGEN_CHECK_MSG(cfg.trace_sample >= 1, "--trace-sample must be >= 1");
-  cfg.enabled = !cfg.trace_out.empty() || !cfg.metrics_out.empty();
+  PAGEN_CHECK_MSG(cfg.ring_capacity >= 1, "--ring-cap must be >= 1");
+  cfg.enabled = !cfg.trace_out.empty() || !cfg.metrics_out.empty() ||
+                !cfg.prom_out.empty();
   return cfg;
 }
 

@@ -26,8 +26,21 @@ struct Config {
   /// Structured metrics JSON output path ("" = don't write metrics).
   std::string metrics_out;
 
+  /// Prometheus text-format output path ("" = don't write). Exports the
+  /// cross-rank merged totals of the same registries metrics_out carries.
+  std::string prom_out;
+
+  /// Causal dependency-chain tracing: stamp every outgoing request/resolved
+  /// item with (root slot, origin rank, hop depth), emit Perfetto flow
+  /// events linking request -> resolve across rank tracks, and record the
+  /// per-slot chain lengths that validate Theorem 3.3. Off by default: the
+  /// stamps cost one small vector per envelope while enabled and exactly
+  /// nothing while disabled.
+  bool causal = false;
+
   /// 1-in-N sampling for high-frequency trace events (per-envelope sends,
-  /// mailbox-depth counters). Spans and metrics are never sampled.
+  /// mailbox-depth counters). Spans, flow events, and metrics are never
+  /// sampled.
   std::uint64_t trace_sample = 1;
 
   /// Trace events retained per rank; the ring buffer keeps the newest
@@ -36,11 +49,12 @@ struct Config {
 };
 
 /// CLI keys consumed by config_from_cli; append to a binary's allowed-key
-/// list: --trace-out=FILE --metrics-out=FILE --trace-sample=N.
+/// list: --trace-out=FILE --metrics-out=FILE --prom-out=FILE
+/// --trace-sample=N --causal=0|1 --ring-cap=N.
 [[nodiscard]] std::vector<std::string> cli_keys();
 
 /// Build a Config from the standard flags. Enabled iff at least one of
-/// --trace-out / --metrics-out was given.
+/// --trace-out / --metrics-out / --prom-out was given.
 [[nodiscard]] Config config_from_cli(const Cli& cli);
 
 }  // namespace pagen::obs

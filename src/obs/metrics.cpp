@@ -52,7 +52,8 @@ void write_registry(std::ostream& os, const MetricsRegistry& reg,
     write_escaped(os, name);
     os << R"(": {"count": )" << h.count() << R"(, "sum": )" << h.sum()
        << R"(, "min": )" << h.min() << R"(, "max": )" << h.max()
-       << R"(, "buckets": [)";
+       << R"(, "p50": )" << h.p50() << R"(, "p95": )" << h.p95()
+       << R"(, "p99": )" << h.p99() << R"(, "buckets": [)";
     bool bfirst = true;
     for (const Histogram::Bucket& b : h.buckets()) {
       os << (bfirst ? "" : ", ") << R"({"le": )" << b.upper << R"(, "count": )"
@@ -118,6 +119,37 @@ std::vector<Histogram::Bucket> Histogram::buckets() const {
     out.push_back({upper, counts_[i]});
   }
   return out;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank target: the smallest rank r (1-based) with r >= q * count.
+  Count target = static_cast<Count>(q * static_cast<double>(count_) + 0.5);
+  if (target < 1) target = 1;
+  if (target > count_) target = count_;
+  Count before = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    if (before + counts_[i] < target) {
+      before += counts_[i];
+      continue;
+    }
+    // Bit width i spans [lower, upper]; interpolate by rank position.
+    const std::uint64_t lower = i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    const std::uint64_t upper =
+        i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+    const double frac = static_cast<double>(target - before) /
+                        static_cast<double>(counts_[i]);
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(lower) +
+        frac * static_cast<double>(upper - lower) + 0.5);
+    if (v < min_) v = min_;
+    if (v > max_) v = max_;
+    return v;
+  }
+  return max_;
 }
 
 Histogram& Histogram::operator+=(const Histogram& o) {

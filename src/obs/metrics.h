@@ -82,6 +82,18 @@ class Histogram {
   /// Non-empty buckets in increasing-bound order.
   [[nodiscard]] std::vector<Bucket> buckets() const;
 
+  /// Quantile estimate for q in [0, 1]: nearest-rank bucket selection with
+  /// linear interpolation inside the bucket's value range, clamped to the
+  /// exact [min, max]. Deterministic (pure function of the bucket counts),
+  /// so exports carrying percentiles stay byte-identical across runs. With
+  /// power-of-two buckets the estimate is exact when the target bucket
+  /// holds one distinct value (widths 0 and 1) and within the bucket span
+  /// otherwise. Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+  [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const { return percentile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const { return percentile(0.99); }
+
   Histogram& operator+=(const Histogram& o);
 
  private:

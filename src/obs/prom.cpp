@@ -1,0 +1,62 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace pagen::obs {
+namespace {
+
+void write_histogram(std::ostream& os, const std::string& name,
+                     const Histogram& h) {
+  os << "# TYPE " << name << " histogram\n";
+  // Prometheus buckets are cumulative; ours are per-bucket tallies.
+  Count cum = 0;
+  for (const Histogram::Bucket& b : h.buckets()) {
+    cum += b.count;
+    os << name << "_bucket{le=\"" << b.upper << "\"} " << cum << '\n';
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+  os << name << "_sum " << h.sum() << '\n';
+  os << name << "_count " << h.count() << '\n';
+  os << "# TYPE " << name << "_p50 gauge\n"
+     << name << "_p50 " << h.p50() << '\n';
+  os << "# TYPE " << name << "_p95 gauge\n"
+     << name << "_p95 " << h.p95() << '\n';
+  os << "# TYPE " << name << "_p99 gauge\n"
+     << name << "_p99 " << h.p99() << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "pagen_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& reg) {
+  for (const auto& [name, c] : reg.counters()) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c.value() << '\n';
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << g.last() << '\n';
+    os << "# TYPE " << n << "_min gauge\n" << n << "_min " << g.min() << '\n';
+    os << "# TYPE " << n << "_max gauge\n" << n << "_max " << g.max() << '\n';
+    os << "# TYPE " << n << "_samples gauge\n"
+       << n << "_samples " << g.samples() << '\n';
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    write_histogram(os, prometheus_name(name), h);
+  }
+}
+
+}  // namespace pagen::obs

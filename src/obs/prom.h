@@ -1,0 +1,30 @@
+// Prometheus text-format (exposition format 0.0.4) exporter for a
+// MetricsRegistry.
+//
+// Maps the registry's instruments onto the closest native Prometheus
+// types: Counter -> counter, Gauge -> gauge (last value, with _min/_max/
+// _samples companions so the extrema survive scraping), Histogram -> a
+// classic histogram with cumulative power-of-two `le` buckets plus _sum and
+// _count, and _p50/_p95/_p99 companion gauges carrying the deterministic
+// percentile estimates (obs/metrics.h). Metric names are sanitized to the
+// Prometheus charset ([a-zA-Z0-9_:], dots become underscores) and prefixed
+// "pagen_" so a scrape of the svc server never collides with other jobs.
+// Output is deterministic: sorted-name order, one exposition block per
+// instrument.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace pagen::obs {
+
+class MetricsRegistry;
+
+/// Sanitize one registry metric name into a Prometheus identifier:
+/// "svc.job_latency_ns" -> "pagen_svc_job_latency_ns".
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Write `reg` in Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const MetricsRegistry& reg);
+
+}  // namespace pagen::obs

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/prom.h"
 #include "util/error.h"
 
 namespace pagen::obs {
@@ -22,6 +23,7 @@ Session::Session(int nranks, Config cfg) : cfg_(std::move(cfg)) {
   PAGEN_CHECK_MSG(nranks >= 1, "session needs at least one rank");
   check_writable(cfg_.trace_out, "trace");
   check_writable(cfg_.metrics_out, "metrics");
+  check_writable(cfg_.prom_out, "prometheus");
   ranks_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     ranks_.push_back(std::make_unique<RankObserver>(r, cfg_));
@@ -30,6 +32,11 @@ Session::Session(int nranks, Config cfg) : cfg_(std::move(cfg)) {
 }
 
 RankObserver& Session::rank(int r) {
+  PAGEN_CHECK(r >= 0 && r < nranks());
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+const RankObserver& Session::rank(int r) const {
   PAGEN_CHECK(r >= 0 && r < nranks());
   return *ranks_[static_cast<std::size_t>(r)];
 }
@@ -50,6 +57,13 @@ void Session::write_metrics(std::ostream& os) const {
   write_metrics_json(os, regs);
 }
 
+void Session::write_prometheus(std::ostream& os) const {
+  MetricsRegistry totals;
+  for (const auto& ob : ranks_) totals.merge(ob->metrics());
+  totals.merge(driver_->metrics());
+  obs::write_prometheus(os, totals);
+}
+
 std::vector<std::string> Session::export_files() const {
   std::vector<std::string> written;
   if (!cfg_.trace_out.empty()) {
@@ -67,6 +81,15 @@ std::vector<std::string> Session::export_files() const {
     PAGEN_CHECK_MSG(os.good(),
                     "failed writing metrics to " << cfg_.metrics_out);
     written.push_back(cfg_.metrics_out);
+  }
+  if (!cfg_.prom_out.empty()) {
+    std::ofstream os(cfg_.prom_out);
+    PAGEN_CHECK_MSG(os.good(),
+                    "cannot open prometheus output " << cfg_.prom_out);
+    write_prometheus(os);
+    PAGEN_CHECK_MSG(os.good(),
+                    "failed writing prometheus to " << cfg_.prom_out);
+    written.push_back(cfg_.prom_out);
   }
   return written;
 }

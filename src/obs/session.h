@@ -24,10 +24,14 @@ class RankObserver {
  public:
   RankObserver(int rank, const Config& cfg, const char* label = nullptr)
       : rank_(rank),
+        causal_(cfg.causal),
         trace_(rank, cfg.ring_capacity, cfg.trace_sample, label),
         metrics_() {}
 
   [[nodiscard]] int rank() const { return rank_; }
+  /// Causal chain tracing requested (Config::causal). The genrt driver
+  /// checks this once at construction and stamps envelopes only when set.
+  [[nodiscard]] bool causal() const { return causal_; }
   [[nodiscard]] Tracer& trace() { return trace_; }
   [[nodiscard]] const Tracer& trace() const { return trace_; }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
@@ -35,6 +39,7 @@ class RankObserver {
 
  private:
   int rank_;
+  bool causal_;
   Tracer trace_;
   MetricsRegistry metrics_;
 };
@@ -54,7 +59,9 @@ class Session {
   [[nodiscard]] int nranks() const { return static_cast<int>(ranks_.size()); }
 
   [[nodiscard]] RankObserver& rank(int r);
+  [[nodiscard]] const RankObserver& rank(int r) const;
   [[nodiscard]] RankObserver& driver() { return *driver_; }
+  [[nodiscard]] const RankObserver& driver() const { return *driver_; }
 
   /// Chrome trace-event JSON of every track (ranks + driver).
   void write_trace(std::ostream& os) const;
@@ -63,8 +70,12 @@ class Session {
   /// the driver's own entry at tid nranks).
   void write_metrics(std::ostream& os) const;
 
-  /// Write config().trace_out / metrics_out when set; returns the paths
-  /// actually written. Call after the instrumented run has joined.
+  /// Prometheus text format of the cross-rank merged totals (obs/prom.h).
+  void write_prometheus(std::ostream& os) const;
+
+  /// Write config().trace_out / metrics_out / prom_out when set; returns
+  /// the paths actually written. Call after the instrumented run has
+  /// joined.
   std::vector<std::string> export_files() const;
 
  private:

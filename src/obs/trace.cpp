@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "util/error.h"
@@ -49,6 +50,19 @@ void write_event(std::ostream& os, int rank, const TraceEvent& e) {
     case EventKind::kCounter:
       os << R"(,"ph":"C","args":{"value":)" << e.value << '}';
       break;
+    case EventKind::kFlowStart:
+      os << R"(,"ph":"s","id":)" << e.id << R"(,"bind_id":)" << e.id;
+      break;
+    case EventKind::kFlowStep:
+      os << R"(,"ph":"t","id":)" << e.id << R"(,"bind_id":)" << e.id;
+      break;
+    case EventKind::kFlowEnd:
+      os << R"(,"ph":"f","bp":"e","id":)" << e.id << R"(,"bind_id":)" << e.id;
+      break;
+    case EventKind::kChain:
+      os << R"(,"ph":"i","s":"t","args":{"slot":)" << e.id << R"(,"len":)"
+         << e.value << '}';
+      break;
   }
   os << '}';
 }
@@ -81,21 +95,37 @@ void Tracer::end() {
   PAGEN_CHECK_MSG(!stack_.empty(), "Tracer::end without matching begin");
   const Open open = stack_.back();
   stack_.pop_back();
-  record({open.name, open.start_ns, now_ns() - open.start_ns, 0,
+  record({open.name, open.start_ns, now_ns() - open.start_ns, 0, 0,
           EventKind::kSpan});
 }
 
 void Tracer::instant(const char* name) {
-  record({name, now_ns(), 0, 0, EventKind::kInstant});
+  record({name, now_ns(), 0, 0, 0, EventKind::kInstant});
 }
 
 void Tracer::counter(const char* name, std::int64_t value) {
-  record({name, now_ns(), 0, value, EventKind::kCounter});
+  record({name, now_ns(), 0, value, 0, EventKind::kCounter});
 }
 
 void Tracer::span_at(const char* name, std::int64_t start_ns,
                      std::int64_t dur_ns) {
-  record({name, start_ns, dur_ns, 0, EventKind::kSpan});
+  record({name, start_ns, dur_ns, 0, 0, EventKind::kSpan});
+}
+
+void Tracer::flow_start(const char* name, std::uint64_t id) {
+  record({name, now_ns(), 0, 0, id, EventKind::kFlowStart});
+}
+
+void Tracer::flow_step(const char* name, std::uint64_t id) {
+  record({name, now_ns(), 0, 0, id, EventKind::kFlowStep});
+}
+
+void Tracer::flow_end(const char* name, std::uint64_t id) {
+  record({name, now_ns(), 0, 0, id, EventKind::kFlowEnd});
+}
+
+void Tracer::chain(const char* name, std::uint64_t id, std::int64_t length) {
+  record({name, now_ns(), 0, length, id, EventKind::kChain});
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -127,7 +157,17 @@ void write_chrome_trace(std::ostream& os,
       os << "rank " << t->rank();
     }
     os << R"("}})";
-    for (const TraceEvent& e : t->events()) {
+    // Spans are recorded when they *close*, so ring order interleaves a
+    // span's (earlier) start behind events that happened inside it. Emit in
+    // start-time order instead: consumers may assume per-track monotonic ts
+    // and the CI validator enforces it. stable_sort keeps same-ts record
+    // order, so the export stays deterministic.
+    std::vector<TraceEvent> ordered = t->events();
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    for (const TraceEvent& e : ordered) {
       os << ",\n";
       write_event(os, t->rank(), e);
     }

@@ -36,16 +36,21 @@
 namespace pagen::obs {
 
 enum class EventKind : std::uint8_t {
-  kSpan,     ///< begin/end pair, recorded at end ("X" complete event)
-  kInstant,  ///< point event ("i")
-  kCounter,  ///< sampled value over time ("C")
+  kSpan,       ///< begin/end pair, recorded at end ("X" complete event)
+  kInstant,    ///< point event ("i")
+  kCounter,    ///< sampled value over time ("C")
+  kFlowStart,  ///< causal flow origin ("s"), id binds across tracks
+  kFlowStep,   ///< causal flow step ("t") on an intermediate track
+  kFlowEnd,    ///< causal flow terminus ("f")
+  kChain,      ///< resolved dependency chain: id = slot, value = length
 };
 
 struct TraceEvent {
   const char* name = "";      ///< must outlive the tracer (string literals)
   std::int64_t start_ns = 0;  ///< epoch-relative (now_ns)
   std::int64_t dur_ns = 0;    ///< spans only
-  std::int64_t value = 0;     ///< counters only
+  std::int64_t value = 0;     ///< counters and chain lengths
+  std::uint64_t id = 0;       ///< flow/chain correlation id (global slot id)
   EventKind kind = EventKind::kInstant;
 };
 
@@ -77,6 +82,20 @@ class Tracer {
   /// Record an already-measured span (e.g. a blocking wait timed by the
   /// caller) without touching the open-span stack.
   void span_at(const char* name, std::int64_t start_ns, std::int64_t dur_ns);
+
+  // Causal flow events. `id` correlates one logical flow (a request and its
+  // resolution) across rank tracks; the exporter emits Perfetto "s"/"t"/"f"
+  // phases carrying both `id` and `bind_id`. Like spans — and unlike the
+  // per-message instants — flows are never subject to sample_tick(), so a
+  // sampled-out request can never orphan its start/end pair.
+  void flow_start(const char* name, std::uint64_t id);
+  void flow_step(const char* name, std::uint64_t id);
+  void flow_end(const char* name, std::uint64_t id);
+
+  /// Record one resolved dependency chain: `id` names the slot (global slot
+  /// id), `length` its chain length |D_t|. The offline reconstructor
+  /// (obs/causal.h) rebuilds the Theorem 3.3 distribution from these.
+  void chain(const char* name, std::uint64_t id, std::int64_t length);
 
   /// 1-in-N sampling gate for high-frequency events: true on the first call
   /// and then every sample-th call. With sample == 1, always true.
@@ -152,8 +171,11 @@ class Tracer {
 
 /// Write all tracers as one Chrome trace-event JSON object
 /// ({"traceEvents":[...]}): pid 1, tid = rank, a thread_name metadata
-/// record per rank, span/instant/counter phases, timestamps in
-/// microseconds. Loads in chrome://tracing and Perfetto as-is.
+/// record per rank, span/instant/counter/flow phases, timestamps in
+/// microseconds. Events are emitted in non-decreasing `ts` order per track
+/// (spans land in the ring at end(), so raw ring order is not time order) —
+/// the CI schema validator asserts this monotonicity. Loads in
+/// chrome://tracing and Perfetto as-is.
 void write_chrome_trace(std::ostream& os,
                         const std::vector<const Tracer*>& tracers);
 

@@ -1,0 +1,80 @@
+// svc flight recorder: a tiny per-job ring of timestamped state notes.
+//
+// Every job record carries one. Each state transition (queued, dispatched,
+// running, cancel-requested, terminal) appends a note cheaply — a fixed-size
+// ring, no allocation after construction — and when a job ends badly
+// (cancelled, rejected at dispatch, expired, failed) the server renders the
+// ring into a human-readable incident line. The recorder answers "what did
+// this job go through, and when" without replaying the whole service trace:
+// the black box you pull after the crash, not the telemetry stream.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace pagen::svc {
+
+/// Fixed-capacity ring of (wall-clock ns, label, value) notes. Oldest notes
+/// are overwritten once the ring is full; dropped() says how many. Not
+/// thread-safe on its own — the server notes under its one mutex.
+class FlightRecorder {
+ public:
+  struct Note {
+    std::int64_t ns = 0;      ///< wall clock at note time (util now_ns)
+    const char* what = "";    ///< static label, e.g. "queued", "running"
+    std::int64_t value = 0;   ///< optional context (queue depth, tick, ...)
+  };
+
+  static constexpr std::size_t kCapacity = 32;
+
+  void note(const char* what, std::int64_t value = 0) {
+    ring_[head_ % kCapacity] = Note{now_ns(), what, value};
+    ++head_;
+    if (head_ > kCapacity) ++dropped_;
+  }
+
+  /// Notes in record order, oldest first (at most kCapacity).
+  [[nodiscard]] std::vector<Note> entries() const {
+    std::vector<Note> out;
+    const std::size_t n = head_ < kCapacity ? head_ : kCapacity;
+    out.reserve(n);
+    const std::size_t start = head_ - n;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring_[(start + i) % kCapacity]);
+    }
+    return out;
+  }
+
+  /// Notes overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// One-line rendering: "queued+0us -> running+180us -> cancelled+421us"
+  /// with offsets relative to the first retained note.
+  [[nodiscard]] std::string dump() const {
+    const std::vector<Note> notes = entries();
+    std::ostringstream os;
+    if (dropped_ != 0) os << "(" << dropped_ << " dropped) ";
+    const std::int64_t base = notes.empty() ? 0 : notes.front().ns;
+    bool first = true;
+    for (const Note& n : notes) {
+      if (!first) os << " -> ";
+      os << n.what << "+" << (n.ns - base) / 1000 << "us";
+      if (n.value != 0) os << "(" << n.value << ")";
+      first = false;
+    }
+    return os.str();
+  }
+
+ private:
+  std::array<Note, kCapacity> ring_{};
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pagen::svc

@@ -1,10 +1,12 @@
 #include "svc/server.h"
 
 #include <exception>
+#include <sstream>
 #include <utility>
 
 #include "core/generate.h"
 #include "graph/sharded_io.h"
+#include "obs/prom.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -29,7 +31,9 @@ Server::Server(ServerOptions options)
       store_hits_(&metrics_.counter("svc.cache_store_hits")),
       queue_depth_(&metrics_.gauge("svc.queue_depth")),
       running_gauge_(&metrics_.gauge("svc.running")),
-      latency_(&metrics_.histogram("svc.job_latency_ns")) {
+      latency_(&metrics_.histogram("svc.job_latency_ns")),
+      queue_wait_(&metrics_.histogram("svc.queue_wait_ns")),
+      run_ns_(&metrics_.histogram("svc.run_ns")) {
   PAGEN_CHECK_MSG(options.workers >= 1, "server needs workers >= 1");
   cache_.bind_metrics(&metrics_.counter("svc.cache_hits"),
                       &metrics_.counter("svc.cache_misses"),
@@ -41,6 +45,37 @@ Server::Server(ServerOptions options)
 }
 
 Server::~Server() { shutdown(false); }
+
+namespace {
+
+const char* reject_name(Reject why) {
+  switch (why) {
+    case Reject::kQueueFull:
+      return "queue_full";
+    case Reject::kShuttingDown:
+      return "shutting_down";
+    case Reject::kInvalidSpec:
+      return "invalid_spec";
+    case Reject::kDeadlineExpired:
+      return "deadline_expired";
+    case Reject::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace
+
+void Server::push_incident(std::string line) {
+  incidents_.push_back(std::move(line));
+  while (incidents_.size() > kMaxIncidents) incidents_.pop_front();
+}
+
+void Server::flight_incident(JobId id, const Record& rec, const char* why) {
+  std::ostringstream os;
+  os << "job " << id << " " << why << ": " << rec.flight.dump();
+  push_incident(os.str());
+}
 
 Server::Submitted Server::rejected(Reject why) {
   rejects_all_->add();
@@ -60,6 +95,11 @@ Server::Submitted Server::rejected(Reject why) {
     case Reject::kNone:
       break;
   }
+  std::ostringstream os;
+  os << "submit rejected: " << reject_name(why) << " (tick "
+     << ticks_.load(std::memory_order_relaxed) << ", queue depth "
+     << queue_.size() << ")";
+  push_incident(os.str());
   return Submitted{kNoJob, why, false};
 }
 
@@ -75,6 +115,7 @@ Server::Submitted Server::serve_completed(
   rec->state = JobState::kCompleted;
   rec->from_cache = true;
   rec->output = std::move(output);
+  rec->flight.note("cache_serve");
   jobs_.emplace(id, std::move(rec));
   accepted_->add();
   completed_->add();
@@ -131,6 +172,7 @@ Server::Submitted Server::submit(const JobSpec& spec) {
   rec->submit_ns = now_ns();
   const bool pushed = queue_.push(id, spec.priority, rec->seq);
   PAGEN_CHECK_MSG(pushed, "queue rejected a push below capacity");
+  rec->flight.note("queued", static_cast<std::int64_t>(queue_.size()));
   jobs_.emplace(id, std::move(rec));
   queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   accepted_->add();
@@ -159,11 +201,17 @@ void Server::worker_loop() {
     if (id == kNoJob) continue;  // raced with another worker or a cancel
     queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     const std::shared_ptr<Record> rec = jobs_.at(id);
+    rec->dispatch_ns = now_ns();
+    rec->flight.note("dispatched", static_cast<std::int64_t>(queue_.size()));
+    queue_wait_->observe(
+        static_cast<std::uint64_t>(rec->dispatch_ns - rec->submit_ns));
 
     // Dispatch-time gates: a cancel that raced the pop, then the virtual
     // deadline — both terminal without ever spinning up ranks.
     if (rec->cancel.load(std::memory_order_relaxed)) {
       rec->state = JobState::kCancelled;
+      rec->flight.note("cancelled");
+      flight_incident(id, *rec, "cancelled at dispatch");
       cancelled_->add();
       done_cv_.notify_all();
       continue;
@@ -171,16 +219,20 @@ void Server::worker_loop() {
     if (rec->spec.deadline != 0 &&
         ticks_.load(std::memory_order_relaxed) > rec->spec.deadline) {
       rec->state = JobState::kExpired;
+      rec->flight.note("expired",
+                       static_cast<std::int64_t>(rec->spec.deadline));
+      flight_incident(id, *rec, "expired");
       expired_->add();
       done_cv_.notify_all();
       continue;
     }
 
     rec->state = JobState::kRunning;
+    rec->flight.note("running");
     ++running_;
     running_gauge_->set(running_);
     lk.unlock();
-    run_job(rec);
+    run_job(id, rec);
     lk.lock();
     --running_;
     running_gauge_->set(running_);
@@ -188,7 +240,7 @@ void Server::worker_loop() {
   }
 }
 
-void Server::run_job(const std::shared_ptr<Record>& rec) {
+void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   const JobSpec& spec = rec->spec;  // immutable once admitted
   core::ParallelOptions opt;
   opt.ranks = spec.ranks;
@@ -223,19 +275,26 @@ void Server::run_job(const std::shared_ptr<Record>& rec) {
   }
 
   std::lock_guard lk(mu_);
+  const std::int64_t end_ns = now_ns();
   rec->state = final_state;
   rec->error = std::move(error);
+  run_ns_->observe(static_cast<std::uint64_t>(end_ns - rec->dispatch_ns));
   switch (final_state) {
     case JobState::kCompleted:
       rec->output = std::move(out);
       cache_.insert(rec->hash, rec->output);
+      rec->flight.note("completed");
       completed_->add();
-      latency_->observe(static_cast<std::uint64_t>(now_ns() - rec->submit_ns));
+      latency_->observe(static_cast<std::uint64_t>(end_ns - rec->submit_ns));
       break;
     case JobState::kCancelled:
+      rec->flight.note("cancelled");
+      flight_incident(id, *rec, "cancelled while running");
       cancelled_->add();
       break;
     default:
+      rec->flight.note("failed");
+      flight_incident(id, *rec, "failed");
       failed_->add();
       break;
   }
@@ -262,10 +321,13 @@ bool Server::cancel(JobId id) {
   Record& rec = *it->second;
   if (terminal(rec.state)) return false;
   rec.cancel.store(true, std::memory_order_relaxed);
+  rec.flight.note("cancel_requested");
   if (rec.state == JobState::kQueued) {
     queue_.remove(id);
     queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     rec.state = JobState::kCancelled;
+    rec.flight.note("cancelled");
+    flight_incident(id, rec, "cancelled while queued");
     cancelled_->add();
     done_cv_.notify_all();
   }
@@ -309,6 +371,8 @@ void Server::shutdown(bool drain) {
       Record& rec = *jobs_.at(id);
       rec.cancel.store(true, std::memory_order_relaxed);
       rec.state = JobState::kCancelled;
+      rec.flight.note("cancelled");
+      flight_incident(id, rec, "cancelled at shutdown");
       cancelled_->add();
     }
     queue_depth_->set(0);
@@ -351,6 +415,16 @@ ServerStats Server::stats() const {
 void Server::write_metrics(std::ostream& os) const {
   std::lock_guard lk(mu_);
   obs::write_metrics_json(os, {&metrics_});
+}
+
+void Server::write_prometheus(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  obs::write_prometheus(os, metrics_);
+}
+
+std::vector<std::string> Server::incidents() const {
+  std::lock_guard lk(mu_);
+  return {incidents_.begin(), incidents_.end()};
 }
 
 }  // namespace pagen::svc

@@ -21,15 +21,18 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "svc/cache.h"
+#include "svc/flight.h"
 #include "svc/job.h"
 #include "svc/queue.h"
 
@@ -118,6 +121,17 @@ class Server {
   /// (svc.queue_depth, svc.cache_hits, svc.job_latency_ns, ...).
   void write_metrics(std::ostream& os) const;
 
+  /// Prometheus text exposition of the same instruments (obs/prom.h
+  /// mapping: svc.job_latency_ns -> pagen_svc_job_latency_ns with
+  /// cumulative buckets and _p50/_p95/_p99 gauges). Scrape-ready.
+  void write_prometheus(std::ostream& os) const;
+
+  /// Recent incident lines, oldest first: each cancelled / expired / failed
+  /// job contributes its rendered flight-recorder ring, each admission
+  /// reject a one-liner. Bounded retention (kMaxIncidents) — a live
+  /// service's last-N post-mortems, not an unbounded log.
+  [[nodiscard]] std::vector<std::string> incidents() const;
+
   /// The current admission tick (accepted-job count): the clock that
   /// JobSpec::deadline is measured against.
   [[nodiscard]] std::uint64_t tick() const {
@@ -130,21 +144,29 @@ class Server {
     std::uint64_t hash = 0;
     std::uint64_t seq = 0;  ///< admission tick at accept (queue tie-break)
     std::int64_t submit_ns = 0;
+    std::int64_t dispatch_ns = 0;  ///< worker pop time (0 = never dispatched)
     JobState state = JobState::kQueued;
     bool from_cache = false;
     std::string error;
     std::shared_ptr<const JobOutput> output;
     std::atomic<bool> cancel{false};
+    FlightRecorder flight;  ///< per-job transition ring (noted under mu_)
   };
+
+  static constexpr std::size_t kMaxIncidents = 16;
 
   void worker_loop();
   /// Generate outside the lock; finalizes the record (state, output,
   /// cache insert, metrics) under the lock.
-  void run_job(const std::shared_ptr<Record>& rec);
+  void run_job(JobId id, const std::shared_ptr<Record>& rec);
   /// Can `out` satisfy a request shaped like `spec`?
   [[nodiscard]] static bool serves(const JobSpec& spec, const JobOutput& out);
   /// Tally one admission reject (mu_ held).
   Submitted rejected(Reject why);
+  /// Retain a bounded incident line (mu_ held).
+  void push_incident(std::string line);
+  /// Render `rec`'s flight ring into the incident buffer (mu_ held).
+  void flight_incident(JobId id, const Record& rec, const char* why);
   /// Install an already-completed record for a cache/store serve
   /// (mu_ held).
   Submitted serve_completed(const JobSpec& spec, std::uint64_t hash,
@@ -182,7 +204,10 @@ class Server {
   obs::Gauge* queue_depth_;
   obs::Gauge* running_gauge_;
   obs::Histogram* latency_;
+  obs::Histogram* queue_wait_;  ///< submit -> worker pop, ns
+  obs::Histogram* run_ns_;      ///< worker pop -> terminal, ns
 
+  std::deque<std::string> incidents_;  ///< last kMaxIncidents, oldest first
   std::vector<std::thread> workers_;
 };
 

@@ -8,6 +8,7 @@
 #include "core/generate.h"
 #include "json_lint.h"
 #include "mps/stats.h"
+#include "obs/prom.h"
 #include "obs/session.h"
 
 namespace pagen::obs {
@@ -109,6 +110,56 @@ TEST(Histogram, HandlesHugeValuesAndMerges) {
   EXPECT_EQ(empty.max(), 100u);
 }
 
+TEST(Histogram, PercentilesAreDeterministicAndClamped) {
+  // Heavily skewed: one 10 and a thousand 1000s. The median and tails all
+  // land in the 1000s bucket [512, 1023]; interpolation stays inside it
+  // and the result clamps to the exact observed [min, max].
+  Histogram h;
+  h.observe(10);
+  for (int i = 0; i < 1000; ++i) h.observe(1000);
+  EXPECT_GE(h.p50(), 512u);
+  EXPECT_LE(h.p50(), 1000u);  // clamped to max
+  EXPECT_GE(h.p95(), 512u);
+  EXPECT_LE(h.p95(), 1000u);
+  EXPECT_GE(h.p99(), h.p50());
+  // Determinism: same bucket state, same answer.
+  EXPECT_EQ(h.p95(), h.percentile(0.95));
+
+  // Single value: every percentile is that value exactly.
+  Histogram one;
+  one.observe(77);
+  EXPECT_EQ(one.p50(), 77u);
+  EXPECT_EQ(one.p95(), 77u);
+  EXPECT_EQ(one.p99(), 77u);
+
+  // Empty histogram: defined zero, not UB.
+  Histogram empty;
+  EXPECT_EQ(empty.p50(), 0u);
+  EXPECT_EQ(empty.p99(), 0u);
+
+  // Uniform small values where buckets are exact (widths 0 and 1).
+  Histogram exact;
+  exact.observe(0);
+  exact.observe(1);
+  exact.observe(1);
+  exact.observe(1);
+  EXPECT_EQ(exact.p50(), 1u);
+}
+
+TEST(Histogram, PercentilesAreMonotoneInQ) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 4096; v *= 2) {
+    for (int i = 0; i < 16; ++i) h.observe(v);
+  }
+  std::uint64_t prev = 0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const std::uint64_t at = h.percentile(q);
+    EXPECT_GE(at, prev) << "q " << q;
+    prev = at;
+  }
+  EXPECT_LE(prev, h.max());
+}
+
 TEST(MetricsRegistry, HandlesAreStableAndNamed) {
   MetricsRegistry reg;
   Counter& c = reg.counter("a.count");
@@ -173,6 +224,82 @@ TEST(MetricsExport, EmptyRegistriesStillProduceValidJson) {
   std::ostringstream os;
   write_metrics_json(os, {&empty});
   EXPECT_EQ(JsonLint::check(os.str()), "");
+}
+
+TEST(MetricsExport, HistogramJsonCarriesPercentilesInSortedKeyOrder) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.observe(10);
+  h.observe(100);
+  h.observe(1000);
+
+  std::ostringstream os;
+  write_metrics_json(os, {&reg});
+  const std::string json = os.str();
+  EXPECT_EQ(JsonLint::check(json), "");
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  // Stable field order inside each histogram object: count, sum, min, max,
+  // then percentiles, then buckets — consumers diff these files.
+  EXPECT_LT(json.find("\"count\""), json.find("\"sum\""));
+  EXPECT_LT(json.find("\"max\""), json.find("\"p50\""));
+  EXPECT_LT(json.find("\"p50\""), json.find("\"p95\""));
+  EXPECT_LT(json.find("\"p95\""), json.find("\"p99\""));
+  EXPECT_LT(json.find("\"p99\""), json.find("\"buckets\""));
+}
+
+TEST(PrometheusExport, MapsInstrumentsToTextExposition) {
+  MetricsRegistry reg;
+  reg.counter("svc.submits").add(12);
+  reg.gauge("svc.queue_depth").set(3);
+  Histogram& lat = reg.histogram("svc.job_latency_ns");
+  lat.observe(100);
+  lat.observe(900);
+  lat.observe(70000);
+
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+
+  // Names: dots to underscores under a pagen_ prefix, with TYPE headers.
+  EXPECT_NE(text.find("# TYPE pagen_svc_submits counter"), std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_submits 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pagen_svc_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_queue_depth 3"), std::string::npos);
+  // Histograms: cumulative le buckets closed by +Inf, then _sum/_count and
+  // the percentile companion gauges.
+  EXPECT_NE(text.find("# TYPE pagen_svc_job_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_sum 71000"),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_count 3"), std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_p50"), std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_p99"), std::string::npos);
+
+  // Deterministic: two exports are byte-identical.
+  std::ostringstream again;
+  write_prometheus(again, reg);
+  EXPECT_EQ(text, again.str());
+}
+
+TEST(PrometheusExport, BucketCountsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.observe(1);   // bucket le=1
+  h.observe(2);   // bucket le=3
+  h.observe(3);   // bucket le=3
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("pagen_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("pagen_lat_bucket{le=\"3\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("pagen_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
 }
 
 TEST(CommStatsExport, PerDestinationAndPerTagCountsLandInRegistry) {

@@ -1,7 +1,10 @@
 # End-to-end smoke for the observability pipeline: run quickstart with
-# tracing and metrics enabled, then validate both artifacts with CMake's
-# strict JSON parser (string(JSON)) — the same bar a real consumer
-# (Perfetto, python json) would apply.
+# tracing, metrics, Prometheus, and causal chain stamps enabled, then
+# validate every artifact with CMake's strict JSON parser (string(JSON)) —
+# the same bar a real consumer (Perfetto, python json, a scraper) would
+# apply. On top of plain JSON validity it checks the Perfetto flow-event
+# contract: every "s" has a matching "f", both carry id + bind_id, and
+# timestamps are monotonic within each track.
 #
 # Invoked by ctest as:
 #   cmake -DQUICKSTART=<binary> -DOUT_DIR=<scratch dir> -P obs_smoke.cmake
@@ -14,12 +17,16 @@ endif()
 file(MAKE_DIRECTORY "${OUT_DIR}")
 set(trace_file "${OUT_DIR}/trace.json")
 set(metrics_file "${OUT_DIR}/metrics.json")
-file(REMOVE "${trace_file}" "${metrics_file}")
+set(prom_file "${OUT_DIR}/metrics.prom")
+file(REMOVE "${trace_file}" "${metrics_file}" "${prom_file}")
 
+# n kept small enough that the per-event monotonicity loop below stays
+# fast: causal chain events bypass sampling, so events scale with n.
 execute_process(
-  COMMAND "${QUICKSTART}" --n=20000 --x=2 --ranks=4
+  COMMAND "${QUICKSTART}" --n=6000 --x=2 --ranks=4
           "--trace-out=${trace_file}" "--metrics-out=${metrics_file}"
-          --trace-sample=8
+          "--prom-out=${prom_file}"
+          --trace-sample=8 --causal=1
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
@@ -57,6 +64,43 @@ if(rank0_at EQUAL -1)
   message(FATAL_ERROR "trace: missing 'rank 0' track name metadata")
 endif()
 
+# Perfetto flow-event contract: with --causal=1 every resolved remote
+# request emits a start ("s") on the requester and an end ("f") back on the
+# requester — counts must match and be nonzero, and each flow event must
+# carry both the correlation id and bind_id Perfetto uses to draw arrows.
+string(REGEX MATCHALL "\"ph\":\"s\"" flow_starts "${trace_body}")
+string(REGEX MATCHALL "\"ph\":\"f\"" flow_ends "${trace_body}")
+list(LENGTH flow_starts n_starts)
+list(LENGTH flow_ends n_ends)
+if(n_starts EQUAL 0)
+  message(FATAL_ERROR "trace: --causal=1 produced no flow-start events")
+endif()
+if(NOT n_starts EQUAL n_ends)
+  message(FATAL_ERROR "trace: ${n_starts} flow starts vs ${n_ends} flow ends — unbalanced")
+endif()
+string(REGEX MATCHALL "\"ph\":\"[stf]\"[^\n]*" flow_lines "${trace_body}")
+foreach(line IN LISTS flow_lines)
+  if(NOT line MATCHES "\"id\":[0-9]+" OR NOT line MATCHES "\"bind_id\":[0-9]+")
+    message(FATAL_ERROR "trace: flow event missing id/bind_id pairing: ${line}")
+  endif()
+endforeach()
+
+# Per-track monotonic timestamps: the exporter orders each track's events
+# by start time, so walking the file and comparing the integer part of
+# every ts against the previous one on the same tid must never go
+# backwards (floor preserves non-decreasing order).
+file(STRINGS "${trace_file}" trace_lines)
+foreach(line IN LISTS trace_lines)
+  if(line MATCHES "\"tid\":([0-9]+),.*\"ts\":([0-9]+)")
+    set(tid "${CMAKE_MATCH_1}")
+    set(ts "${CMAKE_MATCH_2}")
+    if(DEFINED last_ts_${tid} AND ts LESS last_ts_${tid})
+      message(FATAL_ERROR "trace: tid ${tid} ts went backwards: ${last_ts_${tid}} -> ${ts}")
+    endif()
+    set(last_ts_${tid} "${ts}")
+  endif()
+endforeach()
+
 # Metrics: schema marker, one entry per rank, and a merged totals object.
 file(READ "${metrics_file}" metrics_body)
 string(JSON schema GET "${metrics_body}" "schema")
@@ -72,4 +116,30 @@ if(NOT totals_type STREQUAL "OBJECT")
   message(FATAL_ERROR "metrics: totals is ${totals_type}, expected OBJECT")
 endif()
 
-message(STATUS "obs smoke OK: ${n_events} trace events, ${n_ranks} rank metric blocks")
+# Prometheus text format: at least one typed pagen_ family, every sample
+# line shaped "name{labels} value" or "name value", and histogram families
+# exposed cumulatively with a +Inf bucket.
+if(NOT EXISTS "${prom_file}")
+  message(FATAL_ERROR "expected artifact was not written: ${prom_file}")
+endif()
+file(READ "${prom_file}" prom_body)
+string(REGEX MATCHALL "# TYPE pagen_[a-z0-9_]+ (counter|gauge|histogram)" prom_types "${prom_body}")
+list(LENGTH prom_types n_families)
+if(n_families EQUAL 0)
+  message(FATAL_ERROR "prometheus: no '# TYPE pagen_*' families in ${prom_file}")
+endif()
+string(FIND "${prom_body}" "le=\"+Inf\"" inf_at)
+if(inf_at EQUAL -1)
+  message(FATAL_ERROR "prometheus: histogram families missing the +Inf bucket")
+endif()
+file(STRINGS "${prom_file}" prom_lines)
+foreach(line IN LISTS prom_lines)
+  if(line STREQUAL "" OR line MATCHES "^#")
+    continue()
+  endif()
+  if(NOT line MATCHES "^pagen_[a-z0-9_]+(\\{[^}]*\\})? [-+0-9.eE]+$")
+    message(FATAL_ERROR "prometheus: malformed sample line: ${line}")
+  endif()
+endforeach()
+
+message(STATUS "obs smoke OK: ${n_events} trace events (${n_starts} flows), ${n_ranks} rank metric blocks, ${n_families} prometheus families")

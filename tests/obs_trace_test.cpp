@@ -89,6 +89,62 @@ TEST(Tracer, SampleTickGatesOneInN) {
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(always.sample_tick());
 }
 
+TEST(Tracer, MixedKindWraparoundKeepsDroppedAccountingExact) {
+  // Fill a small ring with every event kind several times over; the
+  // retained + dropped split must stay exact across the wrap, and the
+  // retained window must be the newest `capacity` events in order.
+  Tracer t(0, 8);
+  Count recorded = 0;
+  for (int round = 0; round < 5; ++round) {
+    t.instant("i");
+    t.counter("c", round);
+    t.flow_start("chain", static_cast<std::uint64_t>(round));
+    t.flow_end("chain", static_cast<std::uint64_t>(round));
+    t.chain("chain_len", static_cast<std::uint64_t>(round), round + 1);
+    recorded += 5;
+  }
+  EXPECT_EQ(t.total_recorded(), recorded);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.dropped(), recorded - 8);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+  // The newest event of each round-trip pattern survives: the last chain
+  // event carries round 4.
+  EXPECT_EQ(events.back().kind, EventKind::kChain);
+  EXPECT_EQ(events.back().id, 4u);
+  EXPECT_EQ(events.back().value, 5);
+}
+
+TEST(Tracer, FlowAndChainEventsBypassSampling) {
+  // sample = 64 gates per-message instants hard, but flows and chains are
+  // causal record, not telemetry: a sampled-out request must never orphan
+  // its flow arrow, so they always record.
+  Tracer t(0, 256, 64);
+  int instants = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (t.sample_tick()) {
+      t.instant("send");
+      ++instants;
+    }
+    t.flow_start("chain", static_cast<std::uint64_t>(i));
+    t.flow_end("chain", static_cast<std::uint64_t>(i));
+    t.chain("chain_len", static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_EQ(instants, 1);  // only tick 0 passed the 1-in-64 gate
+  int starts = 0, ends = 0, chains = 0;
+  for (const TraceEvent& e : t.events()) {
+    starts += e.kind == EventKind::kFlowStart ? 1 : 0;
+    ends += e.kind == EventKind::kFlowEnd ? 1 : 0;
+    chains += e.kind == EventKind::kChain ? 1 : 0;
+  }
+  EXPECT_EQ(starts, 32);
+  EXPECT_EQ(ends, 32);
+  EXPECT_EQ(chains, 32);
+}
+
 TEST(Tracer, SpanAtRecordsRetroactively) {
   Tracer t(0, 8);
   t.span_at("wait", 1000, 250);
@@ -130,6 +186,66 @@ TEST(ChromeTrace, ExportIsValidJsonWithOneTrackPerRank) {
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter
   EXPECT_NE(json.find("\"name\":\"generate\""), std::string::npos);
+}
+
+/// Count occurrences of `needle` in `hay`.
+int occurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ChromeTrace, FlowEventsExportPairedIdAndBindId) {
+  Tracer requester(0, 32);
+  Tracer owner(1, 32);
+  requester.flow_start("chain", 42);
+  owner.flow_step("chain", 42);
+  requester.flow_end("chain", 42);
+  requester.chain("chain_len", 42, 3);
+
+  std::ostringstream os;
+  write_chrome_trace(os, {&requester, &owner});
+  const std::string json = os.str();
+  EXPECT_EQ(JsonLint::check(json), "");
+  // Perfetto binds arrows through matching id/bind_id; every flow phase
+  // must carry both, and starts must pair with ends.
+  EXPECT_EQ(occurrences(json, "\"ph\":\"s\""), 1);
+  EXPECT_EQ(occurrences(json, "\"ph\":\"t\""), 1);
+  EXPECT_EQ(occurrences(json, "\"ph\":\"f\""), 1);
+  EXPECT_EQ(occurrences(json, "\"id\":42"), 3);
+  EXPECT_EQ(occurrences(json, "\"bind_id\":42"), 3);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);  // f binds enclosing
+  // The chain record exports as an instant with slot + length args.
+  EXPECT_NE(json.find("\"slot\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"len\":3"), std::string::npos);
+}
+
+TEST(ChromeTrace, PerTrackTimestampsAreMonotonicDespiteSpanReordering) {
+  // Spans land in the ring when they *close*, so raw ring order is not
+  // time order: an outer span surrounding instants is recorded after them
+  // but starts before. The export must still emit non-decreasing ts per
+  // track (the CI schema validator asserts exactly this).
+  Tracer t(0, 32);
+  t.begin("outer");
+  t.instant("inside1");
+  t.instant("inside2");
+  t.end();
+  t.instant("after");
+
+  std::ostringstream os;
+  write_chrome_trace(os, {&t});
+  const std::string json = os.str();
+  EXPECT_EQ(JsonLint::check(json), "");
+  std::int64_t prev = -1;
+  for (std::size_t at = json.find("\"ts\":"); at != std::string::npos;
+       at = json.find("\"ts\":", at + 5)) {
+    const std::int64_t ts = std::stoll(json.substr(at + 5));
+    EXPECT_GE(ts, prev) << "export must be time-ordered per track";
+    prev = ts;
+  }
 }
 
 TEST(ChromeTrace, EmptyAndWrappedTracersStillExportValidJson) {

@@ -302,5 +302,72 @@ TEST(SvcServer, MetricsExportIsValidJson) {
   EXPECT_EQ(stats.queue_depth, 0u);
 }
 
+TEST(SvcServer, FlightRecorderIncidentsCaptureCancelAndReject) {
+  Server server({.workers = 1, .queue_capacity = 1, .start_paused = true});
+  const JobId id = must_submit(server, gather_spec(300, 1, 41, 2));
+  // Admission reject while the queue is full: a one-line incident.
+  EXPECT_EQ(server.submit(gather_spec(300, 1, 42, 2)).reject,
+            Reject::kQueueFull);
+  // Queued cancel: the job's flight ring is dumped into the incident log.
+  EXPECT_TRUE(server.cancel(id));
+
+  const std::vector<std::string> incidents = server.incidents();
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_NE(incidents[0].find("submit rejected: queue_full"),
+            std::string::npos)
+      << incidents[0];
+  EXPECT_NE(incidents[1].find("cancelled while queued"), std::string::npos)
+      << incidents[1];
+  // The dump names the transitions the job actually went through.
+  EXPECT_NE(incidents[1].find("queued+"), std::string::npos) << incidents[1];
+  EXPECT_NE(incidents[1].find("cancel_requested+"), std::string::npos);
+  EXPECT_NE(incidents[1].find("cancelled+"), std::string::npos);
+  server.resume();
+  server.shutdown(true);
+}
+
+TEST(SvcServer, HealthyJobsLeaveNoIncidentsButFillLatencyStages) {
+  Server server({.workers = 1});
+  (void)server.wait(must_submit(server, gather_spec(256, 1, 43, 2)));
+  EXPECT_TRUE(server.incidents().empty());
+
+  // The staged latency histograms saw the job: queue wait and run time.
+  std::ostringstream os;
+  server.write_metrics(os);
+  const std::string json = os.str();
+  EXPECT_EQ(pagen::testing::JsonLint::check(json), "") << json;
+  EXPECT_NE(json.find("svc.queue_wait_ns"), std::string::npos);
+  EXPECT_NE(json.find("svc.run_ns"), std::string::npos);
+}
+
+TEST(SvcServer, PrometheusEndpointExportsServiceInstruments) {
+  Server server({.workers = 1});
+  (void)server.wait(must_submit(server, gather_spec(128, 1, 44, 2)));
+  std::ostringstream os;
+  server.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE pagen_svc_submits counter"), std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_completed 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pagen_svc_job_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pagen_svc_job_latency_ns_p95"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pagen_svc_queue_depth gauge"),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, RingKeepsNewestAndRendersOffsets) {
+  FlightRecorder fr;
+  for (int i = 0; i < 40; ++i) fr.note("tick", i);
+  EXPECT_EQ(fr.entries().size(), FlightRecorder::kCapacity);
+  EXPECT_EQ(fr.dropped(), 40u - FlightRecorder::kCapacity);
+  // Newest survive: the last entry carries value 39.
+  EXPECT_EQ(fr.entries().back().value, 39);
+  const std::string dump = fr.dump();
+  EXPECT_NE(dump.find("dropped"), std::string::npos);
+  EXPECT_NE(dump.find("tick+"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pagen::svc
