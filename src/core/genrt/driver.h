@@ -10,6 +10,8 @@
 // boundary), the batched edge sink, and the crash-recovery adapter — and
 // delegates the algorithm to a small policy object.
 //
+// pagen-lint: hot-path — the per-message event loop; flat tables only.
+//
 // A policy plugs in with (see docs/architecture.md for the full contract,
 // parallel_pa.cpp / parallel_pa_general.cpp for the two instances):
 //

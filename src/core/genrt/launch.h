@@ -72,6 +72,13 @@ ParallelResult launch(const PaConfig& config, const ParallelOptions& options) {
   mps::WorldOptions world_options;
   world_options.fault_plan = options.fault_plan;
   world_options.reliable = options.reliable;
+  world_options.delivery_hook = options.delivery_hook;
+  if (options.delivery_hook != nullptr) {
+    // The World's own constructor re-checks reliable/fault incompatibility;
+    // checkpointing is a generator-level concern, so gate it here.
+    PAGEN_CHECK_MSG(options.checkpoint_dir.empty(),
+                    "delivery_hook is incompatible with checkpointing");
+  }
 
   mps::RunResult run;
   {

@@ -20,6 +20,10 @@
 // The concrete x = 1 and x >= 1 wire structs below are exactly the paper's
 // message contents (docs/protocol.md §2); the runtime never inspects the
 // x-specific fields.
+//
+// pagen-lint: wire-structs — every struct here travels through
+// mps::pack/unpack; keep them trivially copyable (static_asserts below) and
+// bump kProtocolWireVersion whenever any of them changes shape.
 #pragma once
 
 #include <concepts>
@@ -29,6 +33,12 @@
 #include "util/types.h"
 
 namespace pagen::core {
+
+/// Version of the on-the-wire protocol layout below. Checkpoint files and
+/// replayable model-checker traces implicitly assume one layout; bump this
+/// (and treat mismatching artifacts as stale) whenever a tag is added or a
+/// wire struct changes size, field order, or meaning.
+inline constexpr std::uint32_t kProtocolWireVersion = 1;
 
 // Tag space of the generation protocol (shared by every genrt policy).
 inline constexpr int kTagRequest = 1;   ///< <request, ...>

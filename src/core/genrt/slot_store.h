@@ -1,6 +1,8 @@
 // genrt layer 2 — the slot store: one flat, slot-indexed table of a rank's
 // attachment state.
 //
+// pagen-lint: hot-path — touched once per message; flat vectors only.
+//
 // A *slot* is one attachment choice this rank owns: for x = 1 the local node
 // index itself, for x >= 1 `local_index(t) * x + e`. Slot indices are dense
 // and bounded by `part_size * x`, so every per-slot concern lives in flat

@@ -17,6 +17,10 @@ namespace pagen::obs {
 class Session;
 }
 
+namespace pagen::mps {
+class DeliveryHook;
+}
+
 namespace pagen::core {
 
 /// Thrown out of generate() when ParallelOptions::cancel_requested fires.
@@ -124,6 +128,15 @@ struct ParallelOptions {
 
   /// Resolutions between checkpoint writes (per rank).
   Count checkpoint_every = 4096;
+
+  // --- Model checking (docs/static-analysis.md, tools/mpsmc) ---
+
+  /// Schedule-control seam: hand every delivery decision of the run's mps
+  /// world to this hook (mps/delivery_hook.h; in practice an
+  /// mps::mc::Scheduler). Incompatible with `reliable`, an active
+  /// `fault_plan`, and checkpointing — a schedule-controlled world is
+  /// plain best-effort transport. Non-owning; must outlive the call.
+  mps::DeliveryHook* delivery_hook = nullptr;
 };
 
 }  // namespace pagen::core

@@ -1,3 +1,4 @@
+// pagen-lint: policy-impl — the X1Policy speaks only through the Driver.
 #include "core/parallel_pa.h"
 
 #include "baseline/pa_draws.h"

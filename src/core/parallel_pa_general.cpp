@@ -1,3 +1,4 @@
+// pagen-lint: policy-impl — the XkPolicy speaks only through the Driver.
 #include "core/parallel_pa_general.h"
 
 #include <cstdint>

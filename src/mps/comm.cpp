@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mps/delivery_hook.h"
 #include "mps/engine.h"
 #include "obs/session.h"
 #include "util/error.h"
@@ -86,11 +87,27 @@ void Comm::send_bytes(Rank dst, int tag, std::vector<std::byte> payload,
   }
   const std::uint64_t seq = world_.invariants().on_send(rank_, dst, tag);
   Envelope env{rank_, tag, std::move(payload), seq, 0, 0, std::move(stamps)};
+  if (world_.hook() != nullptr) {
+    // Schedule-controlled world: the hook owns the envelope until its
+    // scheduler releases it through a poll on dst.
+    world_.hook()->park(dst, std::move(env));
+    return;
+  }
   world_.mailbox(dst).push(std::move(env));
 }
 
 bool Comm::poll(std::vector<Envelope>& out) {
   const std::size_t before = out.size();
+  if (world_.hook() != nullptr) {
+    // Scheduling point: the hook decides whether this poll observes a
+    // pending envelope or comes back empty-handed. The invariant wait
+    // brackets stay out of the way — stall probing is the virtual
+    // scheduler's job here — but receipt accounting is unchanged, so the
+    // ledger audit still runs per explored schedule in debug builds.
+    (void)world_.hook()->on_poll(rank_, /*blocking=*/false, out);
+    account_received(out, before);
+    return out.size() > before;
+  }
   if (reliable_ == nullptr) {
     const bool got = world_.mailbox(rank_).try_drain(out);
     account_received(out, before);
@@ -108,6 +125,14 @@ bool Comm::poll(std::vector<Envelope>& out) {
 bool Comm::poll_wait(std::vector<Envelope>& out,
                      std::chrono::milliseconds timeout) {
   const std::size_t before = out.size();
+  if (world_.hook() != nullptr) {
+    // Blocking scheduling point: parks until the hook's scheduler releases
+    // an envelope (or an abort) to this rank — `timeout` is virtual time
+    // the hook does not model, so it is ignored by contract.
+    (void)world_.hook()->on_poll(rank_, /*blocking=*/true, out);
+    account_received(out, before);
+    return out.size() > before;
+  }
   if (reliable_ == nullptr && obs_ == nullptr) {
     const bool got = wait_drain_checked(out, timeout);
     account_received(out, before);
@@ -207,6 +232,13 @@ std::vector<std::vector<std::byte>> Comm::exchange(const char* op,
                                                    std::vector<std::byte> blob) {
   stats_.collectives += 1;
   const auto sp = obs::span(obs_, op);
+  DeliveryHook* hook = world_.hook();
+  // The rendezvous cedes this rank's scheduling turn: the hook must learn
+  // the rank is about to block on peers (enter never blocks — the
+  // rendezvous itself does) and, on the way out, park the rank until the
+  // scheduler resumes it. The exception path (poisoned world) skips the
+  // park so teardown can't re-enter the scheduler.
+  if (hook != nullptr) hook->on_collective_enter(rank_);
   InvariantChecker& inv = world_.invariants();
   inv.enter_wait(rank_, "collective");
   try {
@@ -223,9 +255,11 @@ std::vector<std::vector<std::byte>> Comm::exchange(const char* op,
                   })
             : world_.collectives().exchange(rank_, std::move(blob));
     inv.leave_wait(rank_, /*made_progress=*/true);
+    if (hook != nullptr) hook->on_collective_exit(rank_, /*park=*/true);
     return result;
   } catch (...) {
     inv.leave_wait(rank_, /*made_progress=*/false);
+    if (hook != nullptr) hook->on_collective_exit(rank_, /*park=*/false);
     throw;
   }
 }

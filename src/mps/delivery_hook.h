@@ -1,0 +1,75 @@
+// DeliveryHook: the schedule-control seam of the mps transport.
+//
+// A World constructed with WorldOptions::delivery_hook hands *every*
+// delivery decision to the hook instead of the mailboxes: data envelopes are
+// parked with the hook at send time, and the poll paths ask the hook which
+// parked envelope (if any) is delivered next. Paired with the rank-lifecycle
+// and collective notifications below, an implementation owns the complete
+// message schedule of the world — which is exactly what the model checker
+// (mps/modelcheck.h) needs to enumerate or replay interleavings that the OS
+// scheduler would only ever produce by accident.
+//
+// The seam mirrors how FaultInjector already intercepts envelopes inside
+// World::deliver, but one layer earlier: a hooked world never touches a
+// Mailbox at all, so per-flow delivery order is whatever the hook decides
+// (subject to the hook preserving per-(src, dst, tag) FIFO — the
+// non-overtaking contract the protocol relies on, docs/protocol.md §5).
+//
+// A hooked world must be plain best-effort transport: no reliable channel,
+// no fault plan (World's constructor enforces this). Contract for callers of
+// Comm under a hook: `poll_wait` blocks until the hook releases an envelope
+// — its timeout is ignored — and `poll` returns at most one scheduling
+// decision's worth of envelopes.
+#pragma once
+
+#include <vector>
+
+#include "mps/message.h"
+#include "util/types.h"
+
+namespace pagen::mps {
+
+class DeliveryHook {
+ public:
+  DeliveryHook() = default;
+  DeliveryHook(const DeliveryHook&) = delete;
+  DeliveryHook& operator=(const DeliveryHook&) = delete;
+  virtual ~DeliveryHook() = default;
+
+  /// Rank r's thread is about to run the rank body. May block until the
+  /// hook's scheduler lets the rank proceed.
+  virtual void on_rank_start(Rank r) = 0;
+
+  /// Rank r's body returned or threw; the thread is about to exit. Called
+  /// after the engine's own exit bookkeeping, never blocks.
+  virtual void on_rank_exit(Rank r) = 0;
+
+  /// A data envelope addressed to `dst` leaves the sender (sender's
+  /// thread). The hook owns it until it releases it through on_poll — or
+  /// never does (an undelivered envelope at termination is a lost message).
+  virtual void park(Rank dst, Envelope env) = 0;
+
+  /// A control envelope (engine abort broadcast) addressed to `dst`. The
+  /// hook must ensure a rank blocked in on_poll observes it promptly.
+  virtual void park_control(Rank dst, Envelope env) = 0;
+
+  /// Scheduling point: rank r polls its (virtual) mailbox. Blocks until the
+  /// hook's scheduler resumes the rank, appends any released envelopes to
+  /// `out`, and returns true when something was appended. With
+  /// `blocking` = false the scheduler may resume the rank empty-handed
+  /// (returns false); with `blocking` = true the rank stays parked until an
+  /// envelope (or an abort) is released to it.
+  virtual bool on_poll(Rank r, bool blocking, std::vector<Envelope>& out) = 0;
+
+  /// Rank r is about to block in a collective rendezvous. Never blocks (the
+  /// rendezvous itself does).
+  virtual void on_collective_enter(Rank r) = 0;
+
+  /// Rank r returned from a collective rendezvous. With `park` = true
+  /// (normal completion) the call may block until the scheduler resumes the
+  /// rank; with `park` = false (the rendezvous threw — world poisoned) it
+  /// only fixes bookkeeping and returns immediately.
+  virtual void on_collective_exit(Rank r, bool park) = 0;
+};
+
+}  // namespace pagen::mps

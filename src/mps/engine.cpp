@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "mps/delivery_hook.h"
 #include "obs/session.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -19,6 +20,14 @@ World::World(int nranks, WorldOptions options)
   PAGEN_CHECK_MSG(nranks >= 1, "world needs at least one rank");
   PAGEN_CHECK(options_.rto_base_ms > 0 &&
               options_.rto_max_ms >= options_.rto_base_ms);
+  if (options_.delivery_hook != nullptr) {
+    // A hooked world is plain best-effort transport under a virtual
+    // scheduler: the hook owns every delivery, so the reliable channel's
+    // timers and the fault injector's decisions have nothing to attach to.
+    PAGEN_CHECK_MSG(!options_.reliable && !options_.fault_plan.active(),
+                    "delivery_hook is incompatible with reliable transport "
+                    "and fault plans");
+  }
   if (options_.fault_plan.active()) {
     // Injected faults without the repair layer would just be corruption.
     options_.reliable = true;
@@ -93,6 +102,12 @@ void World::deliver(Rank dst, Envelope env, std::uint32_t attempt,
 
 void World::deliver_control(Rank dst, Envelope env) {
   PAGEN_CHECK(dst >= 0 && dst < nranks_);
+  if (options_.delivery_hook != nullptr) {
+    // Abort wake-ups must reach ranks parked inside the hook's scheduler,
+    // not a mailbox nobody is draining.
+    options_.delivery_hook->park_control(dst, std::move(env));
+    return;
+  }
   mailbox(dst).push(std::move(env));
 }
 
@@ -111,6 +126,11 @@ RunResult run_ranks(int nranks, WorldOptions options,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       obs::RankObserver* ob = obs != nullptr ? &obs->rank(r) : nullptr;
+      DeliveryHook* hook = world.hook();
+      // Under a hook the rank parks here until the virtual scheduler grants
+      // it the first step — from this point on, the OS scheduler no longer
+      // decides anything observable.
+      if (hook != nullptr) hook->on_rank_start(r);
       bool done = false;
       while (!done) {
         // One incarnation per iteration: a fresh Comm (fresh reliability
@@ -155,6 +175,7 @@ RunResult run_ranks(int nranks, WorldOptions options,
       // deadlock probe never sees "rank r can't send" while peers still
       // lack their wake-up envelope.
       world.invariants().note_rank_exit(r);
+      if (hook != nullptr) hook->on_rank_exit(r);
     });
   }
   for (auto& t : threads) t.join();

@@ -27,6 +27,8 @@ class Session;
 
 namespace pagen::mps {
 
+class DeliveryHook;
+
 /// Runtime configuration of one World beyond its rank count. Defaults give
 /// the historical fault-free, best-effort transport.
 struct WorldOptions {
@@ -47,6 +49,14 @@ struct WorldOptions {
   /// How many times a rank that dies of an InjectedCrash is respawned
   /// before the failure is treated as fatal (aborting the world).
   int max_respawns = 3;
+
+  /// Schedule-control seam (mps/delivery_hook.h): when set, every data
+  /// envelope is parked with the hook instead of a mailbox and the poll
+  /// paths become the hook's scheduling points. Mutually exclusive with
+  /// `reliable` and an active `fault_plan` — a hooked world is plain
+  /// best-effort transport under a virtual scheduler. Non-owning; must
+  /// outlive the World.
+  DeliveryHook* delivery_hook = nullptr;
 };
 
 /// Shared runtime state for one group of ranks. Owns the mailboxes and the
@@ -63,6 +73,9 @@ class World {
 
   /// The fault injector, or null when the plan is inert.
   [[nodiscard]] FaultInjector* injector() { return injector_.get(); }
+
+  /// The schedule-control hook, or null for real mailbox delivery.
+  [[nodiscard]] DeliveryHook* hook() const { return options_.delivery_hook; }
 
   /// Debug-build invariant checker (mps/invariant.h). In Release builds
   /// this is the zero-cost stub; call sites need no #ifdef.

@@ -4,6 +4,8 @@
 // Delivery is FIFO per producer (and globally, since pushes serialize on one
 // mutex), matching MPI's non-overtaking guarantee for same-(src, dst, tag)
 // traffic — the property the paper's resolved-message protocol relies on.
+//
+// pagen-lint: hot-path — every envelope passes through here.
 #pragma once
 
 #include <chrono>

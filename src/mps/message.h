@@ -5,6 +5,8 @@
 // trivially-copyable PODs packed contiguously into one envelope per
 // (destination, tag) batch — this is the "message buffering" the paper's
 // Section 3.5 calls out as essential at scale.
+//
+// pagen-lint: hot-path — pack/unpack run once per item sent or received.
 #pragma once
 
 #include <cstddef>

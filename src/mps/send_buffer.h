@@ -7,6 +7,8 @@
 // destination; items are flushed as a single envelope when the buffer
 // reaches capacity or on an explicit flush (the RRP deadlock-avoidance rule
 // force-flushes resolved buffers after every received batch).
+//
+// pagen-lint: hot-path — add() runs once per protocol message.
 #pragma once
 
 #include <cstddef>

@@ -1,3 +1,4 @@
+// pagen-lint: no-wallclock (see cache.h)
 #include "svc/cache.h"
 
 #include <fstream>

@@ -1,5 +1,8 @@
 // svc layer 3 — the result cache: repeat requests never regenerate.
 //
+// pagen-lint: no-wallclock — eviction is LRU over a virtual access
+// counter, never over timestamps (docs/serving.md).
+//
 // Two serving tiers, both keyed by the canonical spec_hash:
 //
 //  * ResultCache — an in-memory LRU of JobOutputs. Externally synchronized

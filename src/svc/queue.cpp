@@ -1,3 +1,4 @@
+// pagen-lint: no-wallclock (see queue.h)
 #include "svc/queue.h"
 
 #include "util/error.h"

@@ -1,5 +1,8 @@
 // svc layer 2 — the bounded priority job queue.
 //
+// pagen-lint: no-wallclock — dispatch order is a pure function of the
+// submit history (docs/serving.md); no wall-clock reads in here.
+//
 // Pure scheduling state, externally synchronized (the Server guards it with
 // its mutex; the unit tests drive it single-threaded). Ordering is total
 // and wall-clock free: higher priority first, FIFO by admission sequence
