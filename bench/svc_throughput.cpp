@@ -10,6 +10,8 @@
 //
 //   ./svc_throughput                          # default: 96 jobs, 8 workers
 //   ./svc_throughput --jobs=64 --scale=1000   # CI TSan stress size
+//   ./svc_throughput --fault-plan=seed=9,drop=0.02 --reliable --rto=5:80
+//       --checkpoint-dir=/tmp/ckpt --attempts=3    # degraded-transport drill
 //
 // The workload sequence is a pure function of --seed (SplitMix64 draws);
 // wall-clock is measured for the report but never consulted for a decision.
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "core/generate.h"
+#include "core/robustness_cli.h"
 #include "graph/edge_list.h"
 #include "obs/config.h"
 #include "obs/session.h"
@@ -122,8 +125,10 @@ std::uint64_t percentile(std::vector<std::uint64_t>& v, double q) {
 int main(int argc, char** argv) {
   std::vector<std::string> keys = {"jobs",         "workers",   "queue",
                                    "cache",        "scale",     "seed",
-                                   "cancel-every", "hot-specs", "out"};
+                                   "cancel-every", "hot-specs", "attempts",
+                                   "out"};
   for (const std::string& k : obs::cli_keys()) keys.push_back(k);
+  for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, std::move(keys));
   if (cli.help()) {
     std::cout << cli.usage("svc_throughput") << "\n";
@@ -137,11 +142,36 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cli.get_u64("seed", 1);
   const auto cancel_every = cli.get_u64("cancel-every", 9);
   const auto hot_specs = cli.get_u64("hot-specs", 4);
+  const auto attempts = static_cast<std::uint32_t>(cli.get_u64("attempts", 1));
   const std::string out_path = cli.get_str("out", "BENCH_svc.json");
 
-  svc::Server server({.workers = workers,
-                      .queue_capacity = queue_cap,
-                      .cache_entries = cache_entries});
+  // Robustness flags (docs/robustness.md): collected into a ParallelOptions
+  // scratch, then split by scope — the fault plan's transport keys plus
+  // --reliable/--rto ride on every JobSpec, the svc-scope keys drive the
+  // server's chaos injection, and --checkpoint-dir roots per-job retry
+  // checkpoints.
+  core::ParallelOptions robust;
+  core::apply_robustness_cli(cli, robust);
+
+  svc::ServerOptions server_options;
+  server_options.workers = workers;
+  server_options.queue_capacity = queue_cap;
+  server_options.cache_entries = cache_entries;
+  server_options.checkpoint_root = robust.checkpoint_dir;
+  server_options.chaos = robust.fault_plan;
+  svc::Server server(server_options);
+
+  const auto arm_spec = [&](svc::JobSpec spec) {
+    spec.max_attempts = attempts;
+    spec.fault_plan = robust.fault_plan;
+    spec.fault_plan.jobfail = 0.0;  // svc-scope keys stay server-side
+    spec.fault_plan.storecorrupt = 0.0;
+    spec.fault_plan.ckptcorrupt = 0.0;
+    spec.reliable = robust.reliable;
+    spec.rto_base_ms = robust.rto_base_ms;
+    spec.rto_max_ms = robust.rto_max_ms;
+    return spec;
+  };
   GoldenBook golden;
   rng::SplitMix64 draw(seed);
 
@@ -179,8 +209,8 @@ int main(int argc, char** argv) {
     const std::uint64_t r = draw.next();
     const bool hot = r % 3 != 0;
     const svc::JobSpec spec =
-        hot ? make_spec(scale, r, /*seed=*/1 + r % hot_specs)
-            : make_spec(scale, r, /*seed=*/1000 + j);
+        arm_spec(hot ? make_spec(scale, r, /*seed=*/1 + r % hot_specs)
+                     : make_spec(scale, r, /*seed=*/1000 + j));
 
     svc::Server::Submitted sub = server.submit(spec);
     while (sub.reject == svc::Reject::kQueueFull) {

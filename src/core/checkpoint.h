@@ -9,7 +9,10 @@
 // kTagRecover broadcast makes peers re-offer every request they still wait
 // on (docs/robustness.md §3). Files are written atomically via
 // graph::save_bytes_atomic so a crash mid-write never leaves a torn
-// checkpoint, and serialized with the same varint coder as the edge files.
+// checkpoint, serialized with the same varint coder as the edge files, and
+// sealed with an FNV-1a content checksum verified before any field is
+// parsed — a truncated, extended, or bit-flipped file raises CheckError
+// instead of silently restoring garbage.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +46,9 @@ void save_checkpoint(const std::string& dir, const RankCheckpoint& ck);
 
 /// Load rank `rank`'s checkpoint from `dir` into `out`. Returns false when
 /// no checkpoint exists yet (recover from nothing); throws CheckError on a
-/// corrupt or mismatching file (wrong magic/version or run parameters).
+/// corrupt or mismatching file (checksum mismatch — covering truncation,
+/// trailing junk, and bitflips — wrong magic/version, element counts that
+/// exceed the payload, or run-parameter mismatch).
 [[nodiscard]] bool load_checkpoint(const std::string& dir, Rank rank,
                                    RankCheckpoint& out);
 

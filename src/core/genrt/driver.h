@@ -86,7 +86,8 @@ class Driver {
         store_edges_(options.gather_edges || options.keep_shards),
         spn_(P::slots_per_node(config)),
         tolerant_(options.fault_plan.has_crash()),
-        recovering_(comm.incarnation() > 0),
+        recovering_(comm.incarnation() > 0 ||
+                    (options.resume && !options.checkpoint_dir.empty())),
         ob_(comm.obs()),
         chain_hist_(ob_ != nullptr
                         ? &ob_->metrics().histogram("pa.chain_latency_ns")
@@ -118,11 +119,20 @@ class Driver {
 
   /// The full rank lifecycle (docs/protocol.md §3).
   void run() {
-    if (!recovering_) {
-      comm_.barrier();  // common start line, as mpirun would provide
-    } else {
+    if (comm_.incarnation() > 0) {
+      // Mid-run respawn: the start rendezvous already completed in a
+      // previous life; restore and announce so peers re-offer.
       const auto sp = obs::span(ob_, "recover");
       recovery_.restore_and_announce();
+    } else {
+      comm_.barrier();  // common start line, as mpirun would provide
+      if (recovering_) {
+        // Fresh-run resume (ParallelOptions::resume): all ranks restore
+        // their own checkpoints together behind the barrier — no peer
+        // holds state for us, so no re-offer broadcast.
+        const auto sp = obs::span(ob_, "resume");
+        recovery_.restore_quietly();
+      }
     }
 
     {
@@ -176,6 +186,9 @@ class Driver {
   // --- Results (read after run()) ---
 
   [[nodiscard]] const RankLoad& load() const { return load_; }
+  /// Slots restored from a checkpoint by this incarnation's bring-up
+  /// (resume or respawn); 0 on a cold start.
+  [[nodiscard]] Count restored_slots() const { return recovery_.restored(); }
   [[nodiscard]] graph::EdgeList&& take_edges() { return std::move(edges_); }
   /// The slot-value table (x = 1: the targets row F_t by local index).
   [[nodiscard]] std::vector<NodeId> take_values() {

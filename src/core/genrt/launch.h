@@ -68,10 +68,14 @@ ParallelResult launch(const PaConfig& config, const ParallelOptions& options) {
   std::vector<graph::EdgeList> edge_slots(nranks);
   std::vector<std::vector<NodeId>> value_slots(nranks);
   LoadVector load_slots(nranks);
+  std::vector<Count> restored_slots(nranks, 0);
 
   mps::WorldOptions world_options;
   world_options.fault_plan = options.fault_plan;
   world_options.reliable = options.reliable;
+  world_options.max_respawns = options.max_respawns;
+  world_options.rto_base_ms = options.rto_base_ms;
+  world_options.rto_max_ms = options.rto_max_ms;
   world_options.delivery_hook = options.delivery_hook;
   if (options.delivery_hook != nullptr) {
     // The World's own constructor re-checks reliable/fault incompatibility;
@@ -90,6 +94,7 @@ ParallelResult launch(const PaConfig& config, const ParallelOptions& options) {
           rank.run();
           const auto slot = static_cast<std::size_t>(comm.rank());
           load_slots[slot] = rank.load();
+          restored_slots[slot] = rank.restored_slots();
           if (auto* ob = comm.obs()) record_metrics(ob->metrics(), rank.load());
           if (options.gather_edges || options.keep_shards) {
             edge_slots[slot] = rank.take_edges();
@@ -106,6 +111,7 @@ ParallelResult launch(const PaConfig& config, const ParallelOptions& options) {
   result.comm_stats = run.rank_stats;
   result.wall_seconds = run.wall_seconds;
   result.respawns = run.respawns;
+  for (const Count r : restored_slots) result.restored_slots += r;
   for (const RankLoad& l : result.loads) result.total_edges += l.edges;
 
   if (options.gather_edges) {

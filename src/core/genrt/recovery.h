@@ -53,6 +53,20 @@ class Recovery {
     }
   }
 
+  /// Fresh-run resume bring-up (ParallelOptions::resume, the service retry
+  /// path): every rank restores its own checkpoint after the common start
+  /// barrier, so — unlike a mid-run respawn — no peer holds in-flight state
+  /// for us and no kTagRecover re-offer broadcast is needed (one would
+  /// produce duplicate answers that only the crash-tolerant resolve path
+  /// absorbs). Missing checkpoints leave the rank a plain cold start.
+  void restore_quietly() {
+    restore_from_checkpoint();
+    precount_open_slots();
+  }
+
+  /// Slots this incarnation restored from its checkpoint (0 on cold start).
+  [[nodiscard]] Count restored() const { return restored_; }
+
   /// A peer respawned: re-offer every request we still wait on that it owns
   /// (its waiter queues died with it), then let the termination detector
   /// repair its lost done/stop state.
@@ -105,6 +119,7 @@ class Recovery {
       if (ck.f[s] == kNil) continue;
       d_.slots().set_value(s, ck.f[s]);
       d_.emit_edge({d_.part().node_at(d_.rank(), s / spn), ck.f[s]});
+      ++restored_;
     }
   }
 
@@ -124,6 +139,7 @@ class Recovery {
 
   D& d_;
   Count resolved_since_ckpt_ = 0;
+  Count restored_ = 0;
 };
 
 }  // namespace pagen::core::genrt

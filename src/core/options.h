@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -128,6 +129,26 @@ struct ParallelOptions {
 
   /// Resolutions between checkpoint writes (per rank).
   Count checkpoint_every = 4096;
+
+  /// Resume a *fresh* run from existing checkpoints in `checkpoint_dir`
+  /// (generation-as-a-service retries, docs/robustness.md §6). Each rank
+  /// restores its checkpointed slot slice before the generate phase and
+  /// re-emits the restored edges, then continues with only the unresolved
+  /// remainder. Unlike an in-run respawn, no peer re-offer broadcast is
+  /// needed — all ranks start from their own checkpoints together. Missing
+  /// or unreadable checkpoint files make the resume a plain cold start.
+  bool resume = false;
+
+  /// In-run crash tolerance budget: how many times a rank scripted to crash
+  /// (fault_plan crash=) is respawned before the failure is surfaced to the
+  /// caller as a job-level error (mps engine default: 3). Service retries
+  /// set this to 0 so an injected crash fails the *attempt*, exercising the
+  /// job-level retry path instead of the rank-level one.
+  int max_respawns = 3;
+
+  /// Reliable-delivery retransmission timeout, base and cap (milliseconds).
+  std::int64_t rto_base_ms = 25;
+  std::int64_t rto_max_ms = 400;
 
   // --- Model checking (docs/static-analysis.md, tools/mpsmc) ---
 

@@ -52,6 +52,12 @@ struct ParallelResult {
   /// Rank incarnations beyond the first (0 unless a crash plan fired and
   /// the run recovered; docs/robustness.md).
   Count respawns = 0;
+
+  /// Slots restored from checkpoints across all ranks (0 on a cold start).
+  /// Nonzero proves the run resumed prior progress instead of regenerating
+  /// it — the service retry path (ParallelOptions::resume) surfaces this in
+  /// the job's flight record.
+  Count restored_slots = 0;
 };
 
 /// Run Algorithm 3.1. Requires config.x == 1 and config.n >= 2, and

@@ -14,7 +14,7 @@ namespace pagen::core {
 
 /// Keys understood by apply_robustness_cli; append to a binary's key list.
 inline std::vector<std::string> robustness_cli_keys() {
-  return {"fault-plan", "checkpoint-dir", "reliable"};
+  return {"fault-plan", "checkpoint-dir", "reliable", "rto"};
 }
 
 /// Apply the robustness flags to `options`:
@@ -22,11 +22,20 @@ inline std::vector<std::string> robustness_cli_keys() {
 ///                           "seed=7,drop=0.02,crash=3@1000")
 ///   --checkpoint-dir=DIR    per-rank checkpoint directory (must exist)
 ///   --reliable              ack/retransmit layer even without a fault plan
+///   --rto=BASE[:MAX]        retransmission timeout in ms, base and cap
 inline void apply_robustness_cli(const Cli& cli, ParallelOptions& options) {
   const std::string spec = cli.get_str("fault-plan", "");
   if (!spec.empty()) options.fault_plan = mps::FaultPlan::parse(spec);
   options.checkpoint_dir = cli.get_str("checkpoint-dir", "");
   options.reliable = cli.get_bool("reliable", options.reliable);
+  const std::string rto = cli.get_str("rto", "");
+  if (!rto.empty()) {
+    const auto colon = rto.find(':');
+    options.rto_base_ms = std::stoll(rto.substr(0, colon));
+    options.rto_max_ms = colon == std::string::npos
+                             ? options.rto_base_ms * 16
+                             : std::stoll(rto.substr(colon + 1));
+  }
 }
 
 }  // namespace pagen::core

@@ -73,6 +73,25 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.stall_step = parse_u64(key, value.substr(at + 1, colon - at - 1));
       plan.stall_ms =
           static_cast<std::uint32_t>(parse_u64(key, value.substr(colon + 1)));
+    } else if (key == "jobfail") {
+      const auto at = value.find('@');
+      if (at == std::string::npos) {
+        plan.jobfail = parse_prob(key, value);
+        plan.jobfail_attempts = 1;
+      } else {
+        PAGEN_CHECK_MSG(at + 1 < value.size(),
+                        "fault plan: jobfail wants prob[@attempts], got '"
+                            << value << "'");
+        plan.jobfail = parse_prob(key, value.substr(0, at));
+        plan.jobfail_attempts =
+            static_cast<std::uint32_t>(parse_u64(key, value.substr(at + 1)));
+        PAGEN_CHECK_MSG(plan.jobfail_attempts >= 1,
+                        "fault plan: jobfail attempts must be >= 1");
+      }
+    } else if (key == "storecorrupt") {
+      plan.storecorrupt = parse_prob(key, value);
+    } else if (key == "ckptcorrupt") {
+      plan.ckptcorrupt = parse_prob(key, value);
     } else {
       PAGEN_CHECK_MSG(false, "fault plan: unknown key '" << key << "'");
     }
@@ -92,7 +111,18 @@ std::string FaultPlan::to_string() const {
   if (stall_rank >= 0) {
     os << ",stall=" << stall_rank << "@" << stall_step << ":" << stall_ms;
   }
+  if (jobfail > 0.0) os << ",jobfail=" << jobfail << "@" << jobfail_attempts;
+  if (storecorrupt > 0.0) os << ",storecorrupt=" << storecorrupt;
+  if (ckptcorrupt > 0.0) os << ",ckptcorrupt=" << ckptcorrupt;
   return os.str();
+}
+
+double FaultPlan::svc_roll(std::uint64_t salt, std::uint64_t key,
+                           std::uint32_t attempt) const {
+  std::uint64_t h = rng::splitmix64_mix(seed ^ salt);
+  h = rng::splitmix64_mix(h ^ key);
+  h = rng::splitmix64_mix(h ^ attempt);
+  return to_unit(h);
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, int nranks)

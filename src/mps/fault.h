@@ -42,8 +42,18 @@ class InjectedCrash : public std::runtime_error {
 ///          | 'reorder=' prob    — hold-and-swap (overtaking) probability
 ///          | 'crash=' rank '@' step          — kill rank at its step-th send
 ///          | 'stall=' rank '@' step ':' ms   — freeze rank for ms at a step
+///          | 'jobfail=' prob '@' attempts    — svc: fail a job attempt with
+///                                              prob, for the first attempts
+///                                              attempts of each job
+///          | 'storecorrupt=' prob  — svc: flip a byte in a freshly written
+///                                    result-store shard
+///          | 'ckptcorrupt=' prob   — svc: flip a byte in a checkpoint file
+///                                    after a failed attempt
 ///
-/// e.g. "seed=7,drop=0.02,dup=0.01,reorder=0.05,crash=3@1000".
+/// e.g. "seed=7,drop=0.02,dup=0.01,reorder=0.05,crash=3@1000" or, for the
+/// serving layer, "seed=9,jobfail=0.5@2,storecorrupt=0.3,ckptcorrupt=0.2".
+/// The svc-scope items are interpreted by svc::Server, not the transport;
+/// they do not force reliable delivery on their own (see svc_active()).
 struct FaultPlan {
   std::uint64_t seed = 0;
   double drop = 0.0;
@@ -54,15 +64,34 @@ struct FaultPlan {
   Rank stall_rank = -1;
   std::uint64_t stall_step = 0;
   std::uint32_t stall_ms = 0;
+  double jobfail = 0.0;
+  std::uint32_t jobfail_attempts = 1;
+  double storecorrupt = 0.0;
+  double ckptcorrupt = 0.0;
 
-  /// True when any injection is configured. An active plan requires the
-  /// reliable-delivery layer (enforced by World's constructor).
+  /// True when any *transport-scope* injection is configured. An active plan
+  /// requires the reliable-delivery layer (enforced by World's constructor).
+  /// Service-scope faults (jobfail/storecorrupt/ckptcorrupt) deliberately do
+  /// not count: they live above the transport.
   [[nodiscard]] bool active() const {
     return drop > 0.0 || dup > 0.0 || reorder > 0.0 || crash_rank >= 0 ||
            stall_rank >= 0;
   }
 
+  /// True when any service-scope injection is configured (svc::Server).
+  [[nodiscard]] bool svc_active() const {
+    return jobfail > 0.0 || storecorrupt > 0.0 || ckptcorrupt > 0.0;
+  }
+
   [[nodiscard]] bool has_crash() const { return crash_rank >= 0; }
+
+  /// Pure uniform roll in [0, 1) for service-scope decisions: a splitmix64
+  /// chain over (seed, salt, key, attempt). `salt` names the fault kind,
+  /// `key` the job (spec hash or job id), `attempt` the attempt ordinal —
+  /// so a decision is replayable from the plan seed alone, independent of
+  /// worker scheduling.
+  [[nodiscard]] double svc_roll(std::uint64_t salt, std::uint64_t key,
+                                std::uint32_t attempt) const;
 
   /// Parse the spec grammar above; throws CheckError on malformed input.
   [[nodiscard]] static FaultPlan parse(const std::string& spec);

@@ -1,10 +1,14 @@
 // pagen-lint: no-wallclock (see cache.h)
 #include "svc/cache.h"
 
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include "graph/sharded_io.h"
+#include "graph/varint_io.h"
 #include "util/error.h"
 
 namespace pagen::svc {
@@ -57,33 +61,122 @@ void ResultCache::bind_metrics(obs::Counter* hits, obs::Counter* misses,
   evictions_metric_ = evictions;
 }
 
+namespace {
+
+/// FNV-1a over a file's raw bytes; false when the file cannot be read.
+bool file_fnv1a(const std::string& path, std::uint64_t& out) {
+  std::vector<std::uint8_t> bytes;
+  if (!graph::try_load_bytes(path, bytes)) return false;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  out = h;
+  return true;
+}
+
+/// Manifest file path (mirrors graph/sharded_io.cpp's layout).
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.pagen";
+}
+
+}  // namespace
+
 std::string store_marker_path(const std::string& dir) {
   return dir + "/svc-spec";
 }
 
 void write_store_marker(const std::string& dir, std::uint64_t hash) {
+  const graph::ShardManifest manifest = graph::load_manifest(dir);
   std::ofstream os(store_marker_path(dir), std::ios::trunc);
   PAGEN_CHECK_MSG(os.is_open(),
                   "cannot write store marker in " << dir);
-  os << "pagen.svc.store.v1 " << std::hex << hash << "\n";
+  os << "pagen.svc.store.v2 " << std::hex << hash << "\n";
+  std::uint64_t sum = 0;
+  PAGEN_CHECK_MSG(file_fnv1a(manifest_path(dir), sum),
+                  "cannot checksum manifest in " << dir);
+  os << "manifest " << std::hex << sum << "\n";
+  for (int r = 0; r < manifest.num_shards; ++r) {
+    PAGEN_CHECK_MSG(file_fnv1a(graph::shard_path(dir, r), sum),
+                    "cannot checksum shard " << r << " in " << dir);
+    os << "shard " << std::dec << r << " " << std::hex << sum << "\n";
+  }
   PAGEN_CHECK_MSG(os.good(), "store marker write failed in " << dir);
 }
 
-bool store_matches(const std::string& dir, const JobSpec& spec) {
+StoreProbe probe_store(const std::string& dir, const JobSpec& spec) {
+  StoreProbe probe;
   std::ifstream is(store_marker_path(dir));
-  if (!is.is_open()) return false;
+  if (!is.is_open()) return probe;  // no marker: plain miss
   std::string tag;
   std::uint64_t recorded = 0;
   is >> tag >> std::hex >> recorded;
-  if (!is || tag != "pagen.svc.store.v1") return false;
-  if (recorded != spec_hash(spec)) return false;
+  if (!is) return probe;
+  // Legacy v1 markers carry no content checksums and cannot be verified;
+  // treat them as a miss so the store is regenerated under the v2 seal.
+  if (tag != "pagen.svc.store.v2") return probe;
+  if (recorded != spec_hash(spec)) return probe;  // another spec's store
+  // The marker claims this spec: from here every defect is corruption.
+  std::ostringstream why;
+  std::uint64_t want = 0;
+  std::uint64_t got = 0;
+  if (!(is >> tag >> std::hex >> want) || tag != "manifest") {
+    why << "marker truncated before manifest checksum";
+  } else if (!file_fnv1a(manifest_path(dir), got)) {
+    why << "manifest unreadable";
+  } else if (got != want) {
+    why << "manifest checksum mismatch";
+  } else {
+    int shard = -1;
+    while (is >> tag) {
+      if (tag != "shard" || !(is >> std::dec >> shard >> std::hex >> want)) {
+        why << "malformed marker shard line";
+        break;
+      }
+      if (!file_fnv1a(graph::shard_path(dir, shard), got)) {
+        why << "shard " << shard << " unreadable";
+        break;
+      }
+      if (got != want) {
+        why << "shard " << shard << " checksum mismatch";
+        break;
+      }
+    }
+  }
+  if (!why.str().empty()) {
+    probe.corrupt = true;
+    probe.detail = why.str();
+    return probe;
+  }
   try {
     const graph::ShardManifest manifest = graph::load_manifest(dir);
-    return manifest.num_nodes == spec.config.n &&
-           manifest.total_edges() == expected_edge_count(spec.config);
-  } catch (const CheckError&) {
-    return false;  // absent or torn manifest: a miss, not an error
+    if (manifest.num_nodes == spec.config.n &&
+        manifest.total_edges() == expected_edge_count(spec.config)) {
+      probe.match = true;
+    } else {
+      probe.corrupt = true;
+      probe.detail = "manifest counts disagree with spec";
+    }
+  } catch (const CheckError& e) {
+    probe.corrupt = true;
+    probe.detail = e.what();
   }
+  return probe;
+}
+
+bool store_matches(const std::string& dir, const JobSpec& spec) {
+  return probe_store(dir, spec).match;
+}
+
+bool quarantine_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  return !ec;
+}
+
+bool quarantine_store(const std::string& dir) {
+  return quarantine_file(store_marker_path(dir));
 }
 
 }  // namespace pagen::svc

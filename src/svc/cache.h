@@ -75,13 +75,42 @@ class ResultCache {
 
 /// Record that `dir`'s sharded store was produced by a spec hashing to
 /// `hash`. Written after the shards and manifest, so a marker implies a
-/// complete store.
+/// complete store. The v2 marker seals the store's content: it records an
+/// FNV-1a checksum of the manifest file and of every shard file, so a
+/// later probe detects on-disk corruption instead of serving poison.
 void write_store_marker(const std::string& dir, std::uint64_t hash);
 
-/// True when `dir` holds a complete sharded store produced by `spec`: the
-/// marker matches spec_hash(spec) and the manifest is loadable and
-/// consistent with the spec's node and edge counts. Never throws — any
-/// defect is a probe miss, not an error.
+/// Outcome of probing `dir` for a store serving `spec` (docs/robustness.md
+/// §6). Exactly one of three shapes: a verified match; a plain miss (no
+/// marker, a legacy v1 marker, or a different spec's store); or *corrupt* —
+/// the marker claims this spec but the content fails verification
+/// (checksum mismatch, torn manifest, wrong counts). Corrupt stores must
+/// be quarantined, never served.
+struct StoreProbe {
+  bool match = false;
+  bool corrupt = false;
+  std::string detail;  ///< human-readable reason when corrupt
+};
+
+/// Verify-on-read probe. Never throws — every defect is a miss or a
+/// corruption verdict, not an error.
+[[nodiscard]] StoreProbe probe_store(const std::string& dir,
+                                     const JobSpec& spec);
+
+/// True when `dir` holds a complete, checksum-verified sharded store
+/// produced by `spec` (probe_store(...).match).
 [[nodiscard]] bool store_matches(const std::string& dir, const JobSpec& spec);
+
+/// Quarantine a corrupt artifact: atomically rename `path` to
+/// `path + ".quarantined"` (clobbering any previous quarantine) so later
+/// probes miss instead of re-reading poison, while the bytes stay on disk
+/// for post-mortem. Returns false when the rename fails (e.g. the file
+/// vanished); never throws.
+bool quarantine_file(const std::string& path);
+
+/// Quarantine a corrupt store: rename its marker aside (the marker is the
+/// store's validity seal, so the directory reads as a plain miss and the
+/// next run regenerates in place). Returns false when no marker existed.
+bool quarantine_store(const std::string& dir);
 
 }  // namespace pagen::svc

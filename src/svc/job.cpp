@@ -65,6 +65,8 @@ std::string validate(const JobSpec& spec) {
     why << "node_batch must be >= 1";
   } else if (spec.sink == Sink::kShardedStore && spec.store_dir.empty()) {
     why << "Sink::kShardedStore requires store_dir";
+  } else if (spec.max_attempts < 1) {
+    why << "max_attempts must be >= 1";
   }
   return why.str();
 }
@@ -83,6 +85,8 @@ const char* to_string(JobState s) {
       return "expired";
     case JobState::kFailed:
       return "failed";
+    case JobState::kShed:
+      return "shed";
   }
   return "unknown";
 }
@@ -99,6 +103,8 @@ const char* to_string(Reject r) {
       return "invalid-spec";
     case Reject::kDeadlineExpired:
       return "deadline-expired";
+    case Reject::kCircuitOpen:
+      return "circuit-open";
   }
   return "unknown";
 }

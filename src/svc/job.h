@@ -17,6 +17,7 @@
 
 #include "baseline/pa_config.h"
 #include "graph/edge_list.h"
+#include "mps/fault.h"
 #include "partition/partition.h"
 #include "util/types.h"
 
@@ -56,6 +57,25 @@ struct JobSpec {
   /// a running job past it is cancelled at the next hook poll. 0 = none.
   /// Virtual ticks keep every scheduling decision wall-clock free.
   std::uint64_t deadline = 0;
+
+  // Robustness (never part of spec_hash — retries reproduce the same graph).
+  /// Worker runs this job may consume before it fails terminally. Attempts
+  /// beyond the first resume from the job's checkpoint directory (when the
+  /// server has one) after a deterministic virtual-tick backoff.
+  std::uint32_t max_attempts = 1;
+  /// Per-job transport fault plan (tests/chaos; inert by default). Applied
+  /// to the ParallelOptions of every attempt.
+  mps::FaultPlan fault_plan;
+  /// Route the run through the reliable-delivery layer even without faults.
+  bool reliable = false;
+  /// In-run rank respawn budget for scripted crashes (mps engine default
+  /// 3). 0 turns a crash into an attempt-level failure, exercising the
+  /// job retry path instead of the rank respawn path.
+  int max_respawns = 3;
+  /// Reliable-transport retransmission timeout, base and cap in ms
+  /// (core::ParallelOptions defaults; only consulted on reliable runs).
+  std::int64_t rto_base_ms = 25;
+  std::int64_t rto_max_ms = 400;
 };
 
 /// Canonical FNV-1a identity of the graph a spec generates: config fields
@@ -75,7 +95,8 @@ enum class JobState : std::uint8_t {
   kCompleted,  ///< terminal: output available
   kCancelled,  ///< terminal: cancelled before or during generation
   kExpired,    ///< terminal: virtual deadline passed before dispatch
-  kFailed,     ///< terminal: generation threw (JobStatus::error)
+  kFailed,     ///< terminal: generation threw on every attempt
+  kShed,       ///< terminal: evicted from the queue to admit higher priority
 };
 [[nodiscard]] const char* to_string(JobState s);
 [[nodiscard]] inline bool terminal(JobState s) {
@@ -89,6 +110,7 @@ enum class Reject : std::uint8_t {
   kShuttingDown,     ///< server draining or stopped
   kInvalidSpec,      ///< validate() failed
   kDeadlineExpired,  ///< deadline already behind the admission tick
+  kCircuitOpen,      ///< this spec failed k consecutive attempts: fast-fail
 };
 [[nodiscard]] const char* to_string(Reject r);
 
@@ -113,7 +135,12 @@ struct JobStatus {
   /// Served from the result cache or an existing sharded store, without
   /// running the generators.
   bool from_cache = false;
-  /// What() of the generation failure (kFailed only).
+  /// Worker runs consumed so far (0 for cache/store hits).
+  std::uint32_t attempts = 0;
+  /// A retry attempt restored at least one slot from the job's checkpoint —
+  /// proof the job resumed prior progress instead of regenerating it.
+  bool resumed = false;
+  /// What() of the generation failure (kFailed only; the last attempt's).
   std::string error;
   /// Non-null exactly when state == kCompleted.
   std::shared_ptr<const JobOutput> output;

@@ -9,25 +9,32 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
   PAGEN_CHECK_MSG(capacity >= 1, "job queue needs capacity >= 1");
 }
 
-bool JobQueue::push(JobId id, std::uint32_t priority, std::uint64_t seq) {
-  if (full()) return false;
-  const Entry e{priority, seq, id};
+bool JobQueue::push(JobId id, std::uint32_t priority, std::uint64_t seq,
+                    std::uint64_t not_before, bool force) {
+  if (!force && full()) return false;
+  const Entry e{priority, seq, id, not_before};
   const bool fresh = ids_.emplace(id, e).second;
   PAGEN_CHECK_MSG(fresh, "job " << id << " queued twice");
   order_.insert(e);
   return true;
 }
 
-JobId JobQueue::peek() const {
-  return order_.empty() ? kNoJob : order_.begin()->id;
+JobId JobQueue::peek(std::uint64_t now) const {
+  for (const Entry& e : order_) {
+    if (e.not_before <= now) return e.id;
+  }
+  return kNoJob;
 }
 
-JobId JobQueue::pop() {
-  if (order_.empty()) return kNoJob;
-  const Entry e = *order_.begin();
-  order_.erase(order_.begin());
-  ids_.erase(e.id);
-  return e.id;
+JobId JobQueue::pop(std::uint64_t now) {
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (it->not_before > now) continue;  // still in backoff
+    const JobId id = it->id;
+    ids_.erase(id);
+    order_.erase(it);
+    return id;
+  }
+  return kNoJob;
 }
 
 bool JobQueue::remove(JobId id) {
@@ -36,6 +43,26 @@ bool JobQueue::remove(JobId id) {
   order_.erase(it->second);
   ids_.erase(it);
   return true;
+}
+
+std::uint64_t JobQueue::earliest_ready() const {
+  std::uint64_t earliest = kAnyTick;
+  for (const auto& [id, e] : ids_) {
+    if (e.not_before < earliest) earliest = e.not_before;
+  }
+  return earliest;
+}
+
+JobId JobQueue::shed_below(std::uint32_t priority) {
+  if (order_.empty()) return kNoJob;
+  // Dispatch order is priority desc then seq asc, so the set's last entry
+  // is exactly the shedding victim candidate: lowest priority, youngest.
+  const auto last = std::prev(order_.end());
+  if (last->priority >= priority) return kNoJob;
+  const JobId id = last->id;
+  ids_.erase(id);
+  order_.erase(last);
+  return id;
 }
 
 }  // namespace pagen::svc

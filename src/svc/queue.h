@@ -9,10 +9,17 @@
 // within a priority — so the dispatch order is a deterministic function of
 // the submit history. The bound is the admission-control backpressure
 // valve: push() refuses at capacity and the Server translates that into
-// Reject::kQueueFull instead of buffering unboundedly.
+// Reject::kQueueFull instead of buffering unboundedly — unless the ladder
+// can shed a strictly lower-priority entry first (shed_below).
+//
+// Retry backoff rides on the same virtual clock as deadlines: an entry may
+// carry a `not_before` tick and is invisible to peek/pop until the caller's
+// `now` reaches it (docs/robustness.md §6). earliest_ready() lets an idle
+// server fast-forward its retry clock instead of waiting on wall time.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -22,6 +29,10 @@ namespace pagen::svc {
 
 class JobQueue {
  public:
+  /// `now` value that makes every entry eligible (peek/pop default).
+  static constexpr std::uint64_t kAnyTick =
+      std::numeric_limits<std::uint64_t>::max();
+
   explicit JobQueue(std::size_t capacity);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -31,24 +42,42 @@ class JobQueue {
 
   /// Admit a job. False (and no state change) when full; `seq` must be
   /// unique across the queue's lifetime (the Server uses the job id).
-  bool push(JobId id, std::uint32_t priority, std::uint64_t seq);
+  /// `not_before` hides the entry from peek/pop until that virtual tick.
+  /// `force` bypasses the capacity bound — the retry requeue path, which
+  /// must never lose an already-admitted job to a momentarily full queue.
+  bool push(JobId id, std::uint32_t priority, std::uint64_t seq,
+            std::uint64_t not_before = 0, bool force = false);
 
-  /// Best queued job: highest priority, then lowest seq. kNoJob when empty.
-  [[nodiscard]] JobId peek() const;
+  /// Best *eligible* queued job at virtual tick `now`: highest priority,
+  /// then lowest seq, skipping entries still in backoff. kNoJob when none.
+  [[nodiscard]] JobId peek(std::uint64_t now = kAnyTick) const;
 
-  /// Remove and return the best queued job; kNoJob when empty.
-  JobId pop();
+  /// Remove and return the best eligible job; kNoJob when none.
+  JobId pop(std::uint64_t now = kAnyTick);
 
   /// Remove a specific job (a cancel of a queued job). False if absent.
   bool remove(JobId id);
+
+  /// Smallest `not_before` over all entries — the tick an idle server must
+  /// fast-forward its retry clock to. kAnyTick when the queue is empty.
+  [[nodiscard]] std::uint64_t earliest_ready() const;
+
+  /// Load-shedding ladder, rung 1: evict the least important entry that is
+  /// *strictly* below `priority` (the youngest among the lowest priority —
+  /// most recently admitted, least invested). Returns its id, or kNoJob
+  /// when every entry is at least as important as the newcomer.
+  JobId shed_below(std::uint32_t priority);
 
  private:
   struct Entry {
     std::uint32_t priority = 0;
     std::uint64_t seq = 0;
     JobId id = kNoJob;
+    std::uint64_t not_before = 0;
 
     /// std::set order = dispatch order: priority desc, then seq asc.
+    /// (not_before is an eligibility filter, not an ordering key: a job in
+    /// backoff keeps its place in line, it just cannot be dispatched yet.)
     friend bool operator<(const Entry& a, const Entry& b) {
       if (a.priority != b.priority) return a.priority > b.priority;
       return a.seq < b.seq;

@@ -1,11 +1,16 @@
 #include "svc/server.h"
 
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "core/checkpoint.h"
 #include "core/generate.h"
 #include "graph/sharded_io.h"
+#include "graph/varint_io.h"
 #include "obs/prom.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -16,6 +21,7 @@ Server::Server(ServerOptions options)
     : options_(options),
       queue_(options.queue_capacity),
       cache_(options.cache_entries),
+      breaker_(options.breaker_threshold, options.breaker_cooldown),
       paused_(options.start_paused),
       submits_(&metrics_.counter("svc.submits")),
       accepted_(&metrics_.counter("svc.accepted")),
@@ -24,10 +30,16 @@ Server::Server(ServerOptions options)
       rejects_shutting_down_(&metrics_.counter("svc.rejects_shutting_down")),
       rejects_invalid_(&metrics_.counter("svc.rejects_invalid_spec")),
       rejects_deadline_(&metrics_.counter("svc.rejects_deadline_expired")),
+      rejects_circuit_(&metrics_.counter("svc.rejects_circuit_open")),
       completed_(&metrics_.counter("svc.completed")),
       cancelled_(&metrics_.counter("svc.cancelled")),
       expired_(&metrics_.counter("svc.expired")),
       failed_(&metrics_.counter("svc.failed")),
+      shed_(&metrics_.counter("svc.shed")),
+      retries_(&metrics_.counter("svc.retries")),
+      resumed_(&metrics_.counter("svc.resumed")),
+      store_quarantined_(&metrics_.counter("svc.store_quarantined")),
+      ckpt_quarantined_(&metrics_.counter("svc.ckpt_quarantined")),
       store_hits_(&metrics_.counter("svc.cache_store_hits")),
       queue_depth_(&metrics_.gauge("svc.queue_depth")),
       running_gauge_(&metrics_.gauge("svc.running")),
@@ -58,10 +70,51 @@ const char* reject_name(Reject why) {
       return "invalid_spec";
     case Reject::kDeadlineExpired:
       return "deadline_expired";
+    case Reject::kCircuitOpen:
+      return "circuit_open";
     case Reject::kNone:
       break;
   }
   return "none";
+}
+
+// Chaos decision salts (FaultPlan::svc_roll): one domain per fault kind so
+// the three decisions of one (job, attempt) are independent.
+constexpr std::uint64_t kSaltJobfail = 0x6a6f626661696cULL;    // "jobfail"
+constexpr std::uint64_t kSaltStoreCorrupt = 0x73746f7265ULL;   // "store"
+constexpr std::uint64_t kSaltCkptCorrupt = 0x636b7074ULL;      // "ckpt"
+
+/// Deterministically flip one byte in the middle of `path` (the chaos
+/// corruption primitive). No-op when the file is missing or empty.
+void flip_byte_in_file(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  if (!graph::try_load_bytes(path, bytes) || bytes.empty()) return;
+  bytes[bytes.size() / 2] ^= 0x01U;
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.is_open()) return;
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Like flip_byte_in_file, but a missing/empty target gets a torn garbage
+/// file planted instead — the write-interrupted-at-crash failure mode. The
+/// rank's checkpoint schedule depends on thread interleaving, so a corrupt
+/// checkpoint chaos decision must not silently no-op just because that
+/// rank had not checkpointed yet; either way the verify-on-read pass sees
+/// an unreadable file and quarantines it.
+void rot_checkpoint_file(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  if (graph::try_load_bytes(path, bytes) && !bytes.empty()) {
+    flip_byte_in_file(path);
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.is_open()) return;
+  const char torn[] = "pagnckp2 torn write";
+  os.write(torn, sizeof(torn) - 1);
 }
 
 }  // namespace
@@ -91,6 +144,9 @@ Server::Submitted Server::rejected(Reject why) {
       break;
     case Reject::kDeadlineExpired:
       rejects_deadline_->add();
+      break;
+    case Reject::kCircuitOpen:
+      rejects_circuit_->add();
       break;
     case Reject::kNone:
       break;
@@ -142,27 +198,64 @@ Server::Submitted Server::submit(const JobSpec& spec) {
     return serve_completed(spec, hash, std::move(cached));
   }
 
-  // Tier 2: an existing sharded store produced by this very spec. Any
-  // defect (store deleted between probe and load, torn files) demotes to a
-  // plain miss — the job just generates.
-  if (!spec.store_dir.empty() && store_matches(spec.store_dir, spec)) {
-    try {
-      auto out = std::make_shared<JobOutput>();
-      out->store_dir = spec.store_dir;
-      out->total_edges = graph::load_manifest(spec.store_dir).total_edges();
-      if (spec.sink == Sink::kGather) {
-        // Shards concatenated in rank order == the gather order of a fresh
-        // run, so a store serve is bitwise-identical to generating.
-        out->edges = graph::load_all_shards(spec.store_dir);
+  // Tier 2: an existing sharded store produced by this very spec,
+  // verify-on-read. A verified match serves from disk; a *corrupt* store
+  // (the marker claims this spec but the content fails its checksums) is
+  // quarantined and the job regenerates — poison is never served. Any
+  // other defect is a plain miss.
+  if (!spec.store_dir.empty()) {
+    const StoreProbe probe = probe_store(spec.store_dir, spec);
+    if (probe.corrupt) {
+      quarantine_store(spec.store_dir);
+      store_quarantined_->add();
+      std::ostringstream os;
+      os << "store " << spec.store_dir << " quarantined: " << probe.detail;
+      push_incident(os.str());
+    } else if (probe.match) {
+      try {
+        auto out = std::make_shared<JobOutput>();
+        out->store_dir = spec.store_dir;
+        out->total_edges = graph::load_manifest(spec.store_dir).total_edges();
+        if (spec.sink == Sink::kGather) {
+          // Shards concatenated in rank order == the gather order of a
+          // fresh run, so a store serve is bitwise-identical to generating.
+          out->edges = graph::load_all_shards(spec.store_dir);
+        }
+        store_hits_->add();
+        cache_.insert(hash, out);
+        return serve_completed(spec, hash, std::move(out));
+      } catch (const CheckError&) {
       }
-      store_hits_->add();
-      cache_.insert(hash, out);
-      return serve_completed(spec, hash, std::move(out));
-    } catch (const CheckError&) {
     }
   }
 
-  if (queue_.full()) return rejected(Reject::kQueueFull);
+  // The per-spec circuit breaker: a spec that failed its last k jobs
+  // fast-fails instead of burning worker time on a known-bad workload.
+  if (!breaker_.allow(hash, ticks_.load(std::memory_order_relaxed))) {
+    Submitted s = rejected(Reject::kCircuitOpen);
+    s.retry_after = options_.breaker_cooldown;
+    return s;
+  }
+
+  // Overload ladder (docs/robustness.md §6): at capacity, first try to
+  // shed the least important queued job — strictly lower priority only, so
+  // load never sheds equals — and admit the newcomer in its place; only
+  // when everyone queued is at least as important does the submit get a
+  // kQueueFull reject, with a retry-after hint in admission ticks.
+  if (queue_.full()) {
+    const JobId victim = queue_.shed_below(spec.priority);
+    if (victim == kNoJob) {
+      Submitted s = rejected(Reject::kQueueFull);
+      s.retry_after = queue_.size();
+      return s;
+    }
+    Record& v = *jobs_.at(victim);
+    v.state = JobState::kShed;
+    v.flight.note("shed", static_cast<std::int64_t>(spec.priority));
+    flight_incident(victim, v, "shed for higher-priority arrival");
+    shed_->add();
+    done_cv_.notify_all();
+  }
 
   const JobId id = next_id_++;
   auto rec = std::make_shared<Record>();
@@ -176,6 +269,7 @@ Server::Submitted Server::submit(const JobSpec& spec) {
   jobs_.emplace(id, std::move(rec));
   queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   accepted_->add();
+  ++retry_clock_;  // accepts advance the virtual retry clock
   work_cv_.notify_one();
   return Submitted{id, Reject::kNone, false};
 }
@@ -192,12 +286,30 @@ bool Server::serves(const JobSpec& spec, const JobOutput& out) {
   return false;
 }
 
+bool Server::dispatchable() {
+  if (queue_.empty()) return false;
+  if (queue_.peek(retry_clock_) != kNoJob) return true;
+  if (running_ == 0) {
+    // Every queued entry is in retry backoff and nothing is running:
+    // fast-forward the virtual clock to the earliest eligible tick.
+    // Virtual time costs nothing, so an idle server never waits out a
+    // backoff on wall clock — backoff only orders retries relative to
+    // competing work.
+    const std::uint64_t ready = queue_.earliest_ready();
+    if (ready > retry_clock_ && ready != JobQueue::kAnyTick) {
+      retry_clock_ = ready;
+    }
+    return queue_.peek(retry_clock_) != kNoJob;
+  }
+  return false;
+}
+
 void Server::worker_loop() {
   std::unique_lock lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+    work_cv_.wait(lk, [&] { return stop_ || (!paused_ && dispatchable()); });
     if (stop_ && queue_.empty()) return;
-    const JobId id = queue_.pop();
+    const JobId id = queue_.pop(retry_clock_);
     if (id == kNoJob) continue;  // raced with another worker or a cancel
     queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     const std::shared_ptr<Record> rec = jobs_.at(id);
@@ -228,7 +340,8 @@ void Server::worker_loop() {
     }
 
     rec->state = JobState::kRunning;
-    rec->flight.note("running");
+    ++rec->attempts;
+    rec->flight.note("running", rec->attempts);
     ++running_;
     running_gauge_->set(running_);
     lk.unlock();
@@ -237,11 +350,40 @@ void Server::worker_loop() {
     --running_;
     running_gauge_->set(running_);
     done_cv_.notify_all();
+    // Idle workers re-evaluate the fast-forward rule now that running_
+    // dropped (a pure-backoff backlog may have become dispatchable).
+    work_cv_.notify_all();
+  }
+}
+
+std::string Server::job_checkpoint_dir(JobId id) const {
+  if (options_.checkpoint_root.empty()) return {};
+  return options_.checkpoint_root + "/job-" + std::to_string(id);
+}
+
+void Server::quarantine_bad_checkpoints(JobId id, const std::string& dir,
+                                        int ranks) {
+  for (int r = 0; r < ranks; ++r) {
+    core::RankCheckpoint ck;
+    try {
+      (void)core::load_checkpoint(dir, r, ck);
+    } catch (const CheckError& e) {
+      const std::string path = core::checkpoint_path(dir, r);
+      quarantine_file(path);
+      std::lock_guard lk(mu_);
+      ckpt_quarantined_->add();
+      std::ostringstream os;
+      os << "job " << id << " checkpoint rank " << r
+         << " quarantined: " << e.what();
+      push_incident(os.str());
+      // That rank cold-starts its slice; the others still resume.
+    }
   }
 }
 
 void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   const JobSpec& spec = rec->spec;  // immutable once admitted
+  const std::uint32_t attempt = rec->attempts;  // bumped at dispatch
   core::ParallelOptions opt;
   opt.ranks = spec.ranks;
   opt.scheme = spec.scheme;
@@ -249,15 +391,56 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   opt.node_batch = spec.node_batch;
   opt.gather_edges = spec.sink == Sink::kGather;
   opt.keep_shards = spec.sink == Sink::kShardedStore;
+  opt.fault_plan = spec.fault_plan;
+  opt.reliable = spec.reliable;
+  opt.max_respawns = spec.max_respawns;
+  opt.rto_base_ms = spec.rto_base_ms;
+  opt.rto_max_ms = spec.rto_max_ms;
   opt.cancel_requested = [rec] {
     return rec->cancel.load(std::memory_order_relaxed);
   };
 
+  // Per-job checkpointing: attempt 1 starts clean (job ids recycle across
+  // server lifetimes, so a stale directory must never alias); retries
+  // resume from whatever the failed attempts checkpointed, after
+  // quarantining any file that no longer verifies (a corrupt checkpoint
+  // degrades that rank to a cold start, never to restored garbage).
+  const std::string ckpt_dir = job_checkpoint_dir(id);
+  if (!ckpt_dir.empty()) {
+    if (attempt == 1) {
+      std::error_code ec;
+      std::filesystem::remove_all(ckpt_dir, ec);
+    } else {
+      quarantine_bad_checkpoints(id, ckpt_dir, spec.ranks);
+    }
+    opt.checkpoint_dir = ckpt_dir;
+    opt.checkpoint_every = options_.checkpoint_every;
+    opt.resume = attempt > 1;
+  }
+
+  // Service-scope chaos: a jobfail decision for this (job, attempt) plants
+  // a sink that throws midway through the run — the "sink I/O error"
+  // failure mode, after enough progress that checkpoints exist to resume
+  // from. Pure in (chaos seed, id, attempt): replayable, schedule-free.
+  const mps::FaultPlan& chaos = options_.chaos;
+  if (chaos.jobfail > 0.0 && attempt <= chaos.jobfail_attempts &&
+      chaos.svc_roll(kSaltJobfail, id, attempt) < chaos.jobfail) {
+    const Count limit = expected_edge_count(spec.config) / 2 + 1;
+    auto emitted = std::make_shared<std::atomic<Count>>(0);
+    opt.edge_sink = [emitted, limit](Rank, const graph::Edge&) {
+      if (emitted->fetch_add(1, std::memory_order_relaxed) + 1 >= limit) {
+        throw CheckError("injected jobfail: sink failure");
+      }
+    };
+  }
+
   JobState final_state = JobState::kCompleted;
+  Count restored = 0;
   std::string error;
   std::shared_ptr<JobOutput> out;
   try {
     core::ParallelResult result = core::generate(spec.config, opt);
+    restored = result.restored_slots;
     out = std::make_shared<JobOutput>();
     out->edges = std::move(result.edges);
     out->targets = std::move(result.targets);
@@ -266,6 +449,15 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
       graph::save_sharded(spec.store_dir, spec.config.n, result.shards);
       write_store_marker(spec.store_dir, rec->hash);
       out->store_dir = spec.store_dir;
+      if (chaos.storecorrupt > 0.0 &&
+          chaos.svc_roll(kSaltStoreCorrupt, id, attempt) <
+              chaos.storecorrupt) {
+        // Rot a shard *after* the marker sealed the store: the next probe
+        // must catch the mismatch and quarantine instead of serving it.
+        flip_byte_in_file(graph::shard_path(
+            spec.store_dir, static_cast<int>(id % static_cast<JobId>(
+                                                      spec.ranks))));
+      }
     }
   } catch (const core::Cancelled&) {
     final_state = JobState::kCancelled;
@@ -274,17 +466,61 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
     error = e.what();
   }
 
-  std::lock_guard lk(mu_);
+  if (final_state == JobState::kFailed && !ckpt_dir.empty() &&
+      chaos.ckptcorrupt > 0.0 &&
+      chaos.svc_roll(kSaltCkptCorrupt, id, attempt) < chaos.ckptcorrupt) {
+    // Rot one checkpoint between the failed attempt and its retry: the
+    // pre-resume integrity pass must quarantine it.
+    rot_checkpoint_file(core::checkpoint_path(
+        ckpt_dir,
+        static_cast<Rank>(id % static_cast<JobId>(spec.ranks))));
+  }
+
+  std::unique_lock lk(mu_);
   const std::int64_t end_ns = now_ns();
-  rec->state = final_state;
   rec->error = std::move(error);
   run_ns_->observe(static_cast<std::uint64_t>(end_ns - rec->dispatch_ns));
+  if (restored > 0 && attempt > 1) {
+    rec->resumed = true;
+    rec->flight.note("resumed", static_cast<std::int64_t>(restored));
+    resumed_->add();
+  }
+
+  // A failed attempt with budget left is not terminal: record it, requeue
+  // with deterministic capped-exponential backoff on the virtual retry
+  // clock, and let a worker re-dispatch (resuming from the checkpoints).
+  // A cancel observed during the attempt wins over the retry.
+  if (final_state == JobState::kFailed &&
+      attempt < spec.max_attempts &&
+      !rec->cancel.load(std::memory_order_relaxed) && !stop_) {
+    const std::uint64_t delay =
+        backoff_ticks(attempt, options_.backoff_base, options_.backoff_cap);
+    rec->state = JobState::kQueued;
+    rec->flight.note("attempt_failed", attempt);
+    rec->flight.note("retry_backoff", static_cast<std::int64_t>(delay));
+    retries_->add();
+    const bool pushed = queue_.push(id, spec.priority, rec->seq,
+                                    retry_clock_ + delay, /*force=*/true);
+    PAGEN_CHECK_MSG(pushed, "retry requeue failed");
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    std::ostringstream os;
+    os << "job " << id << " attempt " << attempt << "/" << spec.max_attempts
+       << " failed (" << rec->error << "); retrying after " << delay
+       << " ticks";
+    push_incident(os.str());
+    lk.unlock();
+    work_cv_.notify_all();
+    return;
+  }
+
+  rec->state = final_state;
   switch (final_state) {
     case JobState::kCompleted:
       rec->output = std::move(out);
       cache_.insert(rec->hash, rec->output);
       rec->flight.note("completed");
       completed_->add();
+      breaker_.on_success(rec->hash);
       latency_->observe(static_cast<std::uint64_t>(end_ns - rec->submit_ns));
       break;
     case JobState::kCancelled:
@@ -293,10 +529,20 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
       cancelled_->add();
       break;
     default:
-      rec->flight.note("failed");
+      rec->flight.note("failed", attempt);
       flight_incident(id, *rec, "failed");
       failed_->add();
+      breaker_.on_failure(rec->hash, ticks_.load(std::memory_order_relaxed));
       break;
+  }
+  ++retry_clock_;  // terminal jobs advance the virtual retry clock
+  if (!ckpt_dir.empty() && final_state != JobState::kCancelled) {
+    // The job is settled; its checkpoints have no future. (A cancelled
+    // job keeps them only until the id is reused — attempt 1 wipes.)
+    lk.unlock();
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt_dir, ec);
+    lk.lock();
   }
   done_cv_.notify_all();
 }
@@ -309,6 +555,8 @@ JobStatus Server::poll(JobId id) const {
   JobStatus status;
   status.state = rec.state;
   status.from_cache = rec.from_cache;
+  status.attempts = rec.attempts;
+  status.resumed = rec.resumed;
   status.error = rec.error;
   status.output = rec.output;
   return status;
@@ -347,6 +595,8 @@ JobStatus Server::wait(JobId id) {
   JobStatus status;
   status.state = rec->state;
   status.from_cache = rec->from_cache;
+  status.attempts = rec->attempts;
+  status.resumed = rec->resumed;
   status.error = rec->error;
   status.output = rec->output;
   return status;
@@ -404,6 +654,12 @@ ServerStats Server::stats() const {
   s.cancelled = cancelled_->value();
   s.expired = expired_->value();
   s.failed = failed_->value();
+  s.shed = shed_->value();
+  s.retries = retries_->value();
+  s.resumed = resumed_->value();
+  s.circuit_open_rejects = rejects_circuit_->value();
+  s.quarantined_stores = store_quarantined_->value();
+  s.quarantined_checkpoints = ckpt_quarantined_->value();
   s.cache_hits = cache_.hits();
   s.cache_store_hits = store_hits_->value();
   s.cache_misses = cache_.misses();

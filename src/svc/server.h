@@ -30,11 +30,13 @@
 #include <thread>
 #include <vector>
 
+#include "mps/fault.h"
 #include "obs/metrics.h"
 #include "svc/cache.h"
 #include "svc/flight.h"
 #include "svc/job.h"
 #include "svc/queue.h"
+#include "svc/retry.h"
 
 namespace pagen::svc {
 
@@ -44,8 +46,8 @@ struct ServerOptions {
   int workers = 4;
 
   /// Bounded queue depth: the admission-control valve. Submits beyond it
-  /// are rejected with Reject::kQueueFull — the client's backpressure
-  /// signal — never buffered.
+  /// are shed or rejected with Reject::kQueueFull — the client's
+  /// backpressure signal — never buffered.
   std::size_t queue_capacity = 64;
 
   /// Result-cache LRU bound (entries). 0 disables caching.
@@ -55,6 +57,38 @@ struct ServerOptions {
   /// worker pops until resume(). Makes admission-order tests and staged
   /// load patterns deterministic.
   bool start_paused = false;
+
+  // --- Fault tolerance (docs/robustness.md §6) ---
+
+  /// Root directory for per-job checkpoint directories
+  /// (`<root>/job-<id>`). Empty disables job checkpointing: a retried
+  /// attempt then regenerates from scratch (still correct, just slower).
+  std::string checkpoint_root{};
+
+  /// Resolutions between checkpoint writes per rank (per-job runs use a
+  /// tighter cadence than the standalone default so short jobs leave
+  /// resumable progress behind).
+  Count checkpoint_every = 1024;
+
+  /// Retry backoff in virtual ticks: base, doubling per failed attempt up
+  /// to cap (svc/retry.h). The virtual retry clock advances on accepts and
+  /// terminal jobs and fast-forwards when the server is idle, so backoff
+  /// never consults (or waits on) wall clock.
+  std::uint64_t backoff_base = 1;
+  std::uint64_t backoff_cap = 8;
+
+  /// Per-spec circuit breaker: after `breaker_threshold` consecutive
+  /// terminal failures of a spec, submits of it fast-fail
+  /// (Reject::kCircuitOpen) until `breaker_cooldown` admission ticks pass;
+  /// then one probationary attempt half-opens it. 0 disables the breaker.
+  std::uint32_t breaker_threshold = 0;
+  std::uint64_t breaker_cooldown = 16;
+
+  /// Service-scope chaos plan (mps::FaultPlan jobfail= / storecorrupt= /
+  /// ckptcorrupt= keys; transport-scope keys are ignored here — put those
+  /// in JobSpec::fault_plan). Every decision is a pure function of
+  /// (plan seed, job id, attempt), so a chaos run replays from its seed.
+  mps::FaultPlan chaos{};
 };
 
 /// Point-in-time tallies (a locked snapshot of the obs instruments).
@@ -65,7 +99,13 @@ struct ServerStats {
   Count completed = 0;  ///< terminal kCompleted (including cache-served)
   Count cancelled = 0;
   Count expired = 0;
-  Count failed = 0;
+  Count failed = 0;   ///< terminal kFailed (all attempts exhausted)
+  Count shed = 0;     ///< queued jobs evicted for higher-priority arrivals
+  Count retries = 0;  ///< failed attempts re-queued with backoff
+  Count resumed = 0;  ///< retry attempts that restored checkpoint progress
+  Count circuit_open_rejects = 0;  ///< submits fast-failed by the breaker
+  Count quarantined_stores = 0;    ///< corrupt sharded stores quarantined
+  Count quarantined_checkpoints = 0;  ///< corrupt checkpoint files quarantined
   Count cache_hits = 0;        ///< memory-cache serves
   Count cache_store_hits = 0;  ///< sharded-store serves
   Count cache_misses = 0;
@@ -79,6 +119,9 @@ class Server {
     JobId id = kNoJob;           ///< kNoJob exactly when rejected
     Reject reject = Reject::kNone;
     bool from_cache = false;     ///< completed instantly from cache/store
+    /// Overload hint on kQueueFull / kCircuitOpen rejects: how many
+    /// admission ticks the client should wait before resubmitting.
+    std::uint64_t retry_after = 0;
   };
 
   explicit Server(ServerOptions options);
@@ -147,6 +190,8 @@ class Server {
     std::int64_t dispatch_ns = 0;  ///< worker pop time (0 = never dispatched)
     JobState state = JobState::kQueued;
     bool from_cache = false;
+    std::uint32_t attempts = 0;  ///< worker runs consumed (bumped under mu_)
+    bool resumed = false;  ///< some attempt restored checkpoint progress
     std::string error;
     std::shared_ptr<const JobOutput> output;
     std::atomic<bool> cancel{false};
@@ -156,9 +201,18 @@ class Server {
   static constexpr std::size_t kMaxIncidents = 16;
 
   void worker_loop();
-  /// Generate outside the lock; finalizes the record (state, output,
-  /// cache insert, metrics) under the lock.
+  /// Is a queue entry dispatchable at the current retry clock? Fast-forwards
+  /// the clock over a pure-backoff backlog when the server is idle — virtual
+  /// time is free, so an empty machine never sits out a backoff (mu_ held).
+  [[nodiscard]] bool dispatchable();
+  /// Run one generation attempt outside the lock; finalizes the record
+  /// (complete / retry-with-backoff / fail / cancel) under the lock.
   void run_job(JobId id, const std::shared_ptr<Record>& rec);
+  /// The job's per-attempt checkpoint directory ("" when disabled).
+  [[nodiscard]] std::string job_checkpoint_dir(JobId id) const;
+  /// Quarantine unreadable checkpoint files before a resume attempt.
+  void quarantine_bad_checkpoints(JobId id, const std::string& dir,
+                                  int ranks);
   /// Can `out` satisfy a request shaped like `spec`?
   [[nodiscard]] static bool serves(const JobSpec& spec, const JobOutput& out);
   /// Tally one admission reject (mu_ held).
@@ -178,9 +232,14 @@ class Server {
   std::condition_variable done_cv_;  ///< waiters: job transitions, drain
   JobQueue queue_;
   ResultCache cache_;
+  CircuitBreaker breaker_;
   std::map<JobId, std::shared_ptr<Record>> jobs_;
   JobId next_id_ = 1;
   std::atomic<std::uint64_t> ticks_{0};
+  /// Virtual retry clock (mu_ held): advances on accepts and terminal
+  /// jobs, fast-forwards over backoff gaps when the server is idle.
+  /// Backoffs are measured on this clock, so retries never sleep.
+  std::uint64_t retry_clock_ = 0;
   bool paused_ = false;
   bool draining_ = false;  ///< admission closed
   bool stop_ = false;      ///< workers exit when the queue is empty
@@ -196,10 +255,16 @@ class Server {
   obs::Counter* rejects_shutting_down_;
   obs::Counter* rejects_invalid_;
   obs::Counter* rejects_deadline_;
+  obs::Counter* rejects_circuit_;
   obs::Counter* completed_;
   obs::Counter* cancelled_;
   obs::Counter* expired_;
   obs::Counter* failed_;
+  obs::Counter* shed_;
+  obs::Counter* retries_;
+  obs::Counter* resumed_;
+  obs::Counter* store_quarantined_;
+  obs::Counter* ckpt_quarantined_;
   obs::Counter* store_hits_;
   obs::Gauge* queue_depth_;
   obs::Gauge* running_gauge_;

@@ -14,6 +14,7 @@
 #include "svc/cache.h"
 #include "svc/job.h"
 #include "svc/queue.h"
+#include "util/error.h"
 
 namespace pagen::svc {
 namespace {
@@ -260,9 +261,10 @@ TEST_F(StoreMarkerTest, MissingPiecesAreAMissNotAnError) {
   spec.store_dir = dir_;
   EXPECT_FALSE(store_matches(dir_, spec)) << "directory does not even exist";
 
-  // Marker alone, no manifest/shards: still a miss.
+  // Sealing a storeless directory is impossible since v2: the marker
+  // checksums the manifest and shards at write time.
   std::filesystem::create_directories(dir_);
-  write_store_marker(dir_, spec_hash(spec));
+  EXPECT_THROW(write_store_marker(dir_, spec_hash(spec)), CheckError);
   EXPECT_FALSE(store_matches(dir_, spec));
 
   // Corrupt marker next to a real store: a miss.
@@ -277,6 +279,123 @@ TEST_F(StoreMarkerTest, MissingPiecesAreAMissNotAnError) {
     os << "not-a-marker\n";
   }
   EXPECT_FALSE(store_matches(dir_, spec));
+}
+
+/// Builds a complete, sealed store for `spec` in `dir`.
+void build_store(const std::string& dir, const JobSpec& spec) {
+  core::ParallelOptions opt;
+  opt.ranks = spec.ranks;
+  opt.scheme = spec.scheme;
+  opt.gather_edges = false;
+  opt.keep_shards = true;
+  const auto result = core::generate(spec.config, opt);
+  graph::save_sharded(dir, spec.config.n, result.shards);
+  write_store_marker(dir, spec_hash(spec));
+}
+
+/// Flip one byte in the middle of `path`.
+void flip_byte(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(0, std::ios::end);
+  const auto size = f.tellg();
+  ASSERT_GT(size, 0);
+  f.seekg(static_cast<std::streamoff>(size) / 2);
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(static_cast<std::streamoff>(size) / 2);
+  b = static_cast<char>(b ^ 0x01);
+  f.write(&b, 1);
+}
+
+TEST_F(StoreMarkerTest, ByteFlippedMarkerNeverMatches) {
+  JobSpec spec = small_spec();
+  spec.store_dir = dir_;
+  build_store(dir_, spec);
+  ASSERT_TRUE(store_matches(dir_, spec));
+
+  flip_byte(store_marker_path(dir_));
+  EXPECT_FALSE(store_matches(dir_, spec))
+      << "a rotten marker must never serve (any parse is a miss or corrupt)";
+}
+
+TEST_F(StoreMarkerTest, ByteFlippedShardIsCorruptAndQuarantinable) {
+  JobSpec spec = small_spec();
+  spec.store_dir = dir_;
+  build_store(dir_, spec);
+  ASSERT_TRUE(probe_store(dir_, spec).match);
+
+  flip_byte(graph::shard_path(dir_, 0));
+  const StoreProbe probe = probe_store(dir_, spec);
+  EXPECT_FALSE(probe.match);
+  EXPECT_TRUE(probe.corrupt) << "the marker claims this spec, so a content "
+                                "mismatch is corruption, not a miss";
+  EXPECT_NE(probe.detail.find("shard 0"), std::string::npos) << probe.detail;
+
+  EXPECT_TRUE(quarantine_store(dir_));
+  EXPECT_FALSE(probe_store(dir_, spec).corrupt) << "quarantined = plain miss";
+  EXPECT_FALSE(store_matches(dir_, spec));
+  EXPECT_TRUE(std::filesystem::exists(store_marker_path(dir_) +
+                                      ".quarantined"))
+      << "the poisoned marker is kept aside for post-mortem";
+
+  // Regeneration over the same directory re-seals it.
+  build_store(dir_, spec);
+  EXPECT_TRUE(store_matches(dir_, spec));
+}
+
+TEST_F(StoreMarkerTest, ByteFlippedManifestIsCorrupt) {
+  JobSpec spec = small_spec();
+  spec.store_dir = dir_;
+  build_store(dir_, spec);
+
+  flip_byte(dir_ + "/manifest.pagen");
+  const StoreProbe probe = probe_store(dir_, spec);
+  EXPECT_FALSE(probe.match);
+  EXPECT_TRUE(probe.corrupt);
+}
+
+// --- JobQueue: retry backoff eligibility and the shedding ladder ---
+
+TEST(JobQueue, NotBeforeHidesEntriesUntilTheVirtualTick) {
+  JobQueue q(4);
+  EXPECT_TRUE(q.push(1, /*priority=*/5, /*seq=*/1, /*not_before=*/10));
+  EXPECT_TRUE(q.push(2, /*priority=*/0, /*seq=*/2));
+  EXPECT_EQ(q.peek(3), 2u) << "job 1 outranks 2 but is still in backoff";
+  EXPECT_EQ(q.pop(3), 2u);
+  EXPECT_EQ(q.pop(9), kNoJob) << "one tick early";
+  EXPECT_EQ(q.earliest_ready(), 10u);
+  EXPECT_EQ(q.pop(10), 1u) << "eligible exactly at not_before";
+  EXPECT_EQ(q.earliest_ready(), JobQueue::kAnyTick) << "empty queue";
+}
+
+TEST(JobQueue, DefaultPopIgnoresBackoff) {
+  JobQueue q(4);
+  EXPECT_TRUE(q.push(1, 0, 1, /*not_before=*/100));
+  EXPECT_EQ(q.pop(), 1u) << "the shutdown drain pops regardless of backoff";
+}
+
+TEST(JobQueue, ForcePushBypassesTheBound) {
+  JobQueue q(1);
+  EXPECT_TRUE(q.push(1, 0, 1));
+  EXPECT_FALSE(q.push(2, 0, 2));
+  EXPECT_TRUE(q.push(2, 0, 2, 0, /*force=*/true))
+      << "a retry requeue must never lose an admitted job";
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(JobQueue, ShedBelowEvictsYoungestOfLowestPriority) {
+  JobQueue q(4);
+  q.push(1, /*priority=*/0, /*seq=*/1);
+  q.push(2, /*priority=*/0, /*seq=*/2);
+  q.push(3, /*priority=*/3, /*seq=*/3);
+  EXPECT_EQ(q.shed_below(5), 2u)
+      << "lowest priority first, youngest within it (least invested)";
+  EXPECT_EQ(q.shed_below(5), 1u);
+  EXPECT_EQ(q.shed_below(3), kNoJob)
+      << "equal priority never sheds — strictly-below only";
+  EXPECT_EQ(q.shed_below(4), 3u);
+  EXPECT_EQ(q.shed_below(9), kNoJob) << "empty";
 }
 
 }  // namespace
