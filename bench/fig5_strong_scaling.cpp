@@ -7,19 +7,27 @@
 // from the calibrated load model (DESIGN.md §2/§5): T_s is the *measured*
 // sequential copy-model time; T_P comes from the measured per-rank loads.
 // Shape to reproduce: near-linear growth, with LCP ≈ RRP > UCP.
+//
+// --engine=all|mps,commfree,... additionally sweeps the requested engines
+// over a small rank ladder and writes the per-engine message-volume report
+// to --engines-out (default BENCH_engines.json); commfree must report zero
+// logical messages at every P. See bench/engine_sweep.h.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "baseline/copy_model_seq.h"
 #include "core/generate.h"
 #include "core/scaling_model.h"
+#include "engine_sweep.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace pagen;
-  const Cli cli(argc, argv, {"n", "x", "seed", "pmax", "msg_ratio", "tsv"});
+  const Cli cli(argc, argv, {"n", "x", "seed", "pmax", "msg_ratio", "tsv",
+                             "engine", "engines-out"});
   if (cli.help()) {
     std::cout << cli.usage("fig5_strong_scaling") << "\n";
     return 0;
@@ -70,5 +78,31 @@ int main(int argc, char** argv) {
             << "RRP outperform UCP due to better load balancing (Sec. 4.3).\n"
             << "(wall_RRP_s is the real oversubscribed wall time, for\n"
             << "reference only — this host has a single physical core.)\n";
+
+  // Engine sweep: the same problem through every requested backend, RRP,
+  // over a short rank ladder. The ladder stays small because commfree trades
+  // messages for recomputation — its per-rank derivation closure approaches
+  // the whole prefix, so total work grows with P (the Sanders & Schulz
+  // trade, measured rather than hidden).
+  const std::vector<std::string> engines =
+      bench::parse_engine_list(cli.get_str("engine", "all"));
+  std::vector<int> ladder;
+  for (const int p : {1, 2, 4, 8, 16}) {
+    if (p <= pmax) ladder.push_back(p);
+  }
+  std::cout << "\n--- engine sweep (RRP, P in {";
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    std::cout << (i != 0 ? "," : "") << ladder[i];
+  }
+  std::cout << "}) ---\n";
+  const auto sweep = bench::run_engine_sweep(cfg, engines, ladder,
+                                             partition::Scheme::kRrp);
+  bench::print_engine_sweep(std::cout, sweep);
+  const std::string engines_out =
+      cli.get_str("engines-out", "BENCH_engines.json");
+  if (bench::write_engine_sweep_json(engines_out, "fig5_strong_scaling", cfg,
+                                     sweep)) {
+    std::cout << "wrote " << engines_out << "\n";
+  }
   return 0;
 }

@@ -10,13 +10,21 @@
 // file name (m.ucp.json, m.lcp.json, m.rrp.json) — the same metrics
 // pipeline quickstart uses, so Fig. 7 numbers can be diffed across runs
 // instead of scraped from stdout. See docs/observability.md.
+//
+// --engine=all|mps,commfree,... appends a per-engine message-volume sweep
+// (capped rank count — commfree trades messages for recomputation) and
+// writes --engines-out (default BENCH_engines_fig7.json, a different file
+// from fig5's BENCH_engines.json so the two reports coexist in CI).
+#include <algorithm>
 #include <array>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/load_balance.h"
 #include "core/generate.h"
+#include "engine_sweep.h"
 #include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -67,7 +75,8 @@ std::string with_scheme(const std::string& path, const char* scheme) {
 
 int main(int argc, char** argv) {
   using namespace pagen;
-  std::vector<std::string> keys{"n", "x", "ranks", "seed", "step"};
+  std::vector<std::string> keys{"n",    "x",      "ranks",      "seed",
+                                "step", "engine", "engines-out"};
   for (const std::string& k : obs::cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, keys);
   if (cli.help()) {
@@ -145,5 +154,26 @@ int main(int argc, char** argv) {
       << "(b) outgoing ∝ nodes, rank 0 sends none under CP schemes;\n"
       << "(c) incoming skewed to low ranks under UCP/LCP (Lemma 3.4), flat\n"
       << "under RRP; (d) RRP nearly perfectly balanced, LCP good, UCP poor.\n";
+
+  // Engine sweep at (up to) the configured rank count: the same Fig. 7
+  // totals per engine. commfree's rank count is capped at 32 because its
+  // redundant recomputation is O(P · n · x) in the worst case — the cap is
+  // printed, never silent.
+  const std::vector<std::string> engines =
+      bench::parse_engine_list(cli.get_str("engine", "all"));
+  const int sweep_ranks = std::min(ranks, 32);
+  std::cout << "\n--- engine sweep (RRP, P=" << sweep_ranks;
+  if (sweep_ranks != ranks) std::cout << ", capped from " << ranks;
+  std::cout << ") ---\n";
+  const std::vector<int> ladder{sweep_ranks};
+  const auto sweep = bench::run_engine_sweep(cfg, engines, ladder,
+                                             partition::Scheme::kRrp);
+  bench::print_engine_sweep(std::cout, sweep);
+  const std::string engines_out =
+      cli.get_str("engines-out", "BENCH_engines_fig7.json");
+  if (bench::write_engine_sweep_json(engines_out, "fig7_load_balance", cfg,
+                                     sweep)) {
+    std::cout << "wrote " << engines_out << "\n";
+  }
   return 0;
 }

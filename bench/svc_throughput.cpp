@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine/engine_cli.h"
 #include "core/generate.h"
 #include "core/robustness_cli.h"
 #include "graph/edge_list.h"
@@ -63,6 +64,7 @@ class GoldenBook {
     const auto it = book_.find(key);
     if (it != book_.end()) return it->second;
     core::ParallelOptions opt;
+    opt.engine = spec.engine;
     opt.ranks = spec.ranks;
     opt.scheme = spec.scheme;
     opt.buffer_capacity = spec.buffer_capacity;
@@ -127,6 +129,7 @@ int main(int argc, char** argv) {
                                    "cache",        "scale",     "seed",
                                    "cancel-every", "hot-specs", "attempts",
                                    "out"};
+  for (const std::string& k : core::engine_cli_keys()) keys.push_back(k);
   for (const std::string& k : obs::cli_keys()) keys.push_back(k);
   for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, std::move(keys));
@@ -161,7 +164,9 @@ int main(int argc, char** argv) {
   server_options.chaos = robust.fault_plan;
   svc::Server server(server_options);
 
+  const std::string engine = cli.get_str("engine", "mps");
   const auto arm_spec = [&](svc::JobSpec spec) {
+    spec.engine = engine;
     spec.max_attempts = attempts;
     spec.fault_plan = robust.fault_plan;
     spec.fault_plan.jobfail = 0.0;  // svc-scope keys stay server-side
@@ -259,6 +264,7 @@ int main(int argc, char** argv) {
     const svc::JobSpec spec = make_spec(scale, /*variant=*/0, /*seed=*/1);
     obs::Session session(spec.ranks, replay_cfg);
     core::ParallelOptions opt;
+    opt.engine = spec.engine;
     opt.ranks = spec.ranks;
     opt.scheme = spec.scheme;
     opt.buffer_capacity = spec.buffer_capacity;

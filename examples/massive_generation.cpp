@@ -3,6 +3,7 @@
 //
 //   ./massive_generation --n=5000000 --x=4 --ranks=8 --out=/tmp/edges.bin
 //   ./massive_generation --n=5000000 --sharded=/tmp/edge_store
+//   ./massive_generation --n=5000000 --engine=commfree   # zero-message run
 //   ./massive_generation --fault-plan=seed=7,drop=0.01 --checkpoint-dir=/tmp/ck
 //
 // Writes the checksummed binary edge format of graph/io.h (text with
@@ -19,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/engine/engine_cli.h"
 #include "core/generate.h"
 #include "core/robustness_cli.h"
 #include "graph/io.h"
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   using namespace pagen;
   std::vector<std::string> keys{"n",   "x",      "ranks", "seed", "scheme",
                                 "out", "format", "p",     "sharded"};
+  for (const std::string& k : core::engine_cli_keys()) keys.push_back(k);
   for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
   for (const std::string& k : obs::cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, keys);
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   const std::string format = cli.get_str("format", "binary");
   opt.gather_edges = !out.empty();
   opt.keep_shards = !sharded.empty();
+  core::apply_engine_cli(cli, opt);
   core::apply_robustness_cli(cli, opt);
 
   // Observability: --trace-out/--metrics-out/--prom-out instrument the run

@@ -2,6 +2,7 @@
 // preferential-attachment algorithm and look at it.
 //
 //   ./quickstart [--n=...] [--x=...] [--ranks=...] [--seed=...]
+//                [--engine=mps|commfree|seq-copy|seq-bb]
 //                [--trace-out=t.json] [--metrics-out=m.json]
 //                [--trace-sample=N] [--fault-plan=SPEC]
 //                [--checkpoint-dir=DIR] [--reliable]
@@ -15,6 +16,7 @@
 #include <optional>
 
 #include "analysis/powerlaw_fit.h"
+#include "core/engine/engine_cli.h"
 #include "core/generate.h"
 #include "core/robustness_cli.h"
 #include "graph/csr.h"
@@ -26,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace pagen;
   std::vector<std::string> keys{"n", "x", "ranks", "seed"};
+  for (const std::string& k : core::engine_cli_keys()) keys.push_back(k);
   for (const std::string& k : obs::cli_keys()) keys.push_back(k);
   for (const std::string& k : core::robustness_cli_keys()) keys.push_back(k);
   const Cli cli(argc, argv, keys);
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   core::ParallelOptions options;
   options.ranks = static_cast<int>(cli.get_u64("ranks", 4));
   options.scheme = partition::Scheme::kRrp;
+  core::apply_engine_cli(cli, options);
   core::apply_robustness_cli(cli, options);
 
   const obs::Config obs_cfg = obs::config_from_cli(cli);

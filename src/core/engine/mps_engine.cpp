@@ -1,0 +1,49 @@
+// MpsEngine: the paper's request/resolved message-passing protocol, wrapped
+// behind the Engine facade. This file (with the x == 1 delegation inside
+// generate_pa_general) is the only sanctioned caller of the raw algorithm
+// entry points — pagen-lint's engine-facade rule keeps it that way.
+// pagen-lint: engine-facade
+#include <memory>
+#include <string_view>
+
+#include "core/engine/engine.h"
+#include "core/parallel_pa.h"
+#include "core/parallel_pa_general.h"
+
+namespace pagen::core {
+namespace {
+
+class MpsEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "mps"; }
+
+  [[nodiscard]] std::string_view description() const override {
+    return "request/resolved message-passing protocol (Algorithms 3.1/3.2)";
+  }
+
+  [[nodiscard]] EngineCaps capabilities() const override {
+    return {.checkpointing = true,
+            .fault_tolerance = true,
+            .delivery_hook = true,
+            .multi_rank = true,
+            .determinism = Determinism::kBitwiseX1};
+  }
+
+  [[nodiscard]] ParallelResult run(
+      const PaConfig& config, const ParallelOptions& options) const override {
+    // Algorithm 3.1 for x = 1 (dispatched directly — the general front
+    // door's x == 1 delegation is bypassed, not relied on), 3.2 otherwise.
+    // Both routes produce identical x = 1 output
+    // (tests/generate_dispatch_test.cpp pins this).
+    if (config.x == 1) return generate_pa_x1(config, options);
+    return generate_pa_general(config, options);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_mps_engine() {
+  return std::make_unique<MpsEngine>();
+}
+
+}  // namespace pagen::core

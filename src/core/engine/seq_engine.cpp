@@ -1,0 +1,159 @@
+// Sequential reference engines behind the facade: the copy-model oracle the
+// distributed algorithms are tested against (seq-copy) and the classic
+// Batagelj-Brandes BA sampler (seq-bb). Single-rank by declaration —
+// generate() rejects ranks > 1 for them — and mostly useful as the ground
+// truth end of cross-engine validation (tests/engine_equivalence_test.cpp)
+// and for small interactive runs.
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "baseline/ba_batagelj_brandes.h"
+#include "baseline/copy_model_seq.h"
+#include "baseline/pa_config.h"
+#include "core/engine/engine.h"
+#include "core/load_stats.h"
+#include "core/options.h"
+#include "core/parallel_pa.h"
+#include "graph/edge_list.h"
+#include "mps/stats.h"
+#include "obs/session.h"
+#include "util/error.h"
+#include "util/timer.h"
+#include "util/types.h"
+
+namespace pagen::core {
+namespace {
+
+/// Shared single-rank assembly: package a sequential generator's edges as a
+/// one-rank ParallelResult and feed the streaming sinks in emission order
+/// (everything reports as rank 0). Cancellation is coarse for these engines
+/// — checked before the run only; the baselines are monolithic.
+ParallelResult assemble_sequential(const ParallelOptions& options,
+                                   graph::EdgeList edges,
+                                   std::vector<NodeId> targets, Count nodes,
+                                   Count retries, const Timer& timer) {
+  RankLoad load;
+  load.nodes = nodes;
+  load.edges = edges.size();
+  load.retries = retries;
+
+  if (options.edge_sink) {
+    for (const graph::Edge& e : edges) options.edge_sink(0, e);
+  }
+  if (options.edge_batch_sink) {
+    PAGEN_CHECK_MSG(options.edge_batch_capacity >= 1,
+                    "edge_batch_capacity must be >= 1");
+    const std::span<const graph::Edge> all(edges);
+    for (std::size_t off = 0; off < all.size();
+         off += options.edge_batch_capacity) {
+      options.edge_batch_sink(
+          0, all.subspan(off, std::min(options.edge_batch_capacity,
+                                       all.size() - off)));
+    }
+  }
+  if (options.obs != nullptr) record_metrics(options.obs->rank(0).metrics(), load);
+
+  ParallelResult result;
+  result.total_edges = edges.size();
+  result.loads = {load};
+  result.comm_stats = {mps::CommStats{}};
+  if (options.keep_shards) result.shards.push_back(edges);
+  if (options.gather_edges) {
+    result.edges = std::move(edges);
+    result.targets = std::move(targets);
+  }
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+void check_sequential_options(const ParallelOptions& options) {
+  PAGEN_CHECK_MSG(options.ranks == 1, "sequential engines are single-rank");
+  if (options.cancel_requested && options.cancel_requested()) {
+    throw Cancelled();
+  }
+}
+
+class SeqCopyEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "seq-copy"; }
+
+  [[nodiscard]] std::string_view description() const override {
+    return "sequential copy model (the oracle of Algorithms 3.1/3.2)";
+  }
+
+  [[nodiscard]] EngineCaps capabilities() const override {
+    return {.checkpointing = false,
+            .fault_tolerance = false,
+            .delivery_hook = false,
+            .multi_rank = false,
+            .determinism = Determinism::kBitwise};
+  }
+
+  [[nodiscard]] ParallelResult run(
+      const PaConfig& config, const ParallelOptions& options) const override {
+    check_sequential_options(options);
+    const Timer timer;
+    if (config.x == 1) {
+      std::vector<NodeId> targets = baseline::copy_model_targets(config);
+      graph::EdgeList edges;
+      edges.reserve(config.n - 1);
+      for (NodeId t = 1; t < config.n; ++t) edges.push_back({t, targets[t]});
+      return assemble_sequential(options, std::move(edges), std::move(targets),
+                                 config.n, 0, timer);
+    }
+    baseline::GeneralResult seq = baseline::copy_model_general(config);
+    return assemble_sequential(options, std::move(seq.edges), {}, config.n,
+                               seq.retries, timer);
+  }
+};
+
+class SeqBbEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "seq-bb"; }
+
+  [[nodiscard]] std::string_view description() const override {
+    return "sequential Batagelj-Brandes BA sampler (p is ignored: pure "
+           "preferential attachment)";
+  }
+
+  [[nodiscard]] EngineCaps capabilities() const override {
+    return {.checkpointing = false,
+            .fault_tolerance = false,
+            .delivery_hook = false,
+            .multi_rank = false,
+            .determinism = Determinism::kBitwise};
+  }
+
+  [[nodiscard]] ParallelResult run(
+      const PaConfig& config, const ParallelOptions& options) const override {
+    check_sequential_options(options);
+    const Timer timer;
+    graph::EdgeList edges = baseline::ba_batagelj_brandes(config);
+    std::vector<NodeId> targets;
+    if (config.x == 1) {
+      // Each node t >= 1 contributes exactly one edge (t, F_t): recover the
+      // targets row so x = 1 gather output is shaped like the other engines.
+      targets.assign(config.n, kNil);
+      for (const graph::Edge& e : edges) targets[e.u] = e.v;
+      targets[0] = kNil;
+    }
+    return assemble_sequential(options, std::move(edges), std::move(targets),
+                               config.n, 0, timer);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_seq_copy_engine() {
+  return std::make_unique<SeqCopyEngine>();
+}
+
+std::unique_ptr<Engine> make_seq_bb_engine() {
+  return std::make_unique<SeqBbEngine>();
+}
+
+}  // namespace pagen::core

@@ -1,0 +1,13 @@
+#include "core/generate.h"
+
+#include "core/engine/engine.h"
+
+namespace pagen::core {
+
+ParallelResult generate(const PaConfig& config, const ParallelOptions& options) {
+  const Engine& engine = EngineRegistry::instance().require(options.engine);
+  check_engine_options(engine, options);
+  return engine.run(config, options);
+}
+
+}  // namespace pagen::core

@@ -3,25 +3,26 @@
 // Quickstart:
 //   #include "core/generate.h"
 //   pagen::PaConfig config{.n = 1'000'000, .x = 4, .p = 0.5, .seed = 42};
-//   pagen::core::ParallelOptions options{.ranks = 8};
+//   pagen::core::ParallelOptions options{.engine = "mps", .ranks = 8};
 //   auto result = pagen::core::generate(config, options);
 //   // result.edges holds the scale-free network's 4e6 edges.
 #pragma once
 
+#include "baseline/pa_config.h"
+#include "core/options.h"
 #include "core/parallel_pa.h"
-#include "core/parallel_pa_general.h"
 
 namespace pagen::core {
 
-/// Generate a preferential-attachment network with the distributed
-/// algorithm matching config.x: Algorithm 3.1 for x = 1 (dispatched
-/// directly — the general front door's x == 1 delegation is bypassed, not
-/// relied on), Algorithm 3.2 otherwise. Both routes produce identical
-/// x = 1 output (tests/generate_dispatch_test.cpp pins this).
-[[nodiscard]] inline ParallelResult generate(const PaConfig& config,
-                                             const ParallelOptions& options) {
-  if (config.x == 1) return generate_pa_x1(config, options);
-  return generate_pa_general(config, options);
-}
+/// Generate a preferential-attachment network with the engine named by
+/// options.engine (core/engine/engine.h): "mps" (the default) runs the
+/// paper's request/resolved protocol — Algorithm 3.1 for x = 1, 3.2
+/// otherwise — "commfree" the communication-free pseudorandomization
+/// backend, "seq-copy"/"seq-bb" the sequential references. Unknown engine
+/// names and options the engine's capabilities cannot honor (e.g. a
+/// checkpoint_dir for an engine without checkpoint support) are rejected
+/// with a CheckError before any work starts.
+[[nodiscard]] ParallelResult generate(const PaConfig& config,
+                                      const ParallelOptions& options);
 
 }  // namespace pagen::core

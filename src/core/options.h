@@ -35,6 +35,14 @@ class Cancelled : public std::runtime_error {
 };
 
 struct ParallelOptions {
+  /// Which registered generation engine runs the job (core/engine/engine.h):
+  /// "mps" is the paper's request/resolved protocol, "commfree" the
+  /// communication-free pseudorandomization backend, "seq-copy"/"seq-bb"
+  /// the sequential references. generate() rejects unknown names and
+  /// capability mismatches (e.g. checkpoint_dir on an engine without
+  /// checkpoint support) with a CheckError.
+  std::string engine = "mps";
+
   /// Number of ranks (the paper's P). Ranks are runtime threads and may
   /// exceed hardware cores (DESIGN.md §2).
   int ranks = 4;

@@ -1,4 +1,6 @@
-// pagen-lint: policy-impl — the XkPolicy speaks only through the Driver.
+// pagen-lint: policy-impl, engine-facade — the XkPolicy speaks only through
+// the Driver; the x == 1 delegation below is the entry point itself, not a
+// facade bypass.
 #include "core/parallel_pa_general.h"
 
 #include <cstdint>

@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include "core/engine/engine.h"
+
 namespace pagen::svc {
 namespace {
 
@@ -12,19 +14,29 @@ class Fnv1a {
  public:
   void word(std::uint64_t w) {
     for (int i = 0; i < 8; ++i) {
-      h_ ^= (w >> (8 * i)) & 0xffU;
-      h_ *= 0x100000001b3ULL;
+      byte((w >> (8 * i)) & 0xffU);
     }
+  }
+  /// Length-prefixed so no two string sequences collide by concatenation.
+  void str(const std::string& s) {
+    word(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
   }
   [[nodiscard]] std::uint64_t digest() const { return h_; }
 
  private:
+  void byte(std::uint64_t b) {
+    h_ ^= b & 0xffU;
+    h_ *= 0x100000001b3ULL;
+  }
+
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
 /// Domain tag: rotate when the hashed schema changes so stale sharded-store
-/// markers from an older layout can never satisfy a probe.
-constexpr std::uint64_t kSpecHashVersion = 0x7061672e737663'01ULL;
+/// markers from an older layout can never satisfy a probe. '02 added the
+/// engine field (ISSUE 9).
+constexpr std::uint64_t kSpecHashVersion = 0x7061672e737663'02ULL;
 
 }  // namespace
 
@@ -35,6 +47,7 @@ std::uint64_t spec_hash(const JobSpec& spec) {
   h.word(spec.config.x);
   h.word(std::bit_cast<std::uint64_t>(spec.config.p));
   h.word(spec.config.seed);
+  h.str(spec.engine);
   h.word(static_cast<std::uint64_t>(spec.ranks));
   h.word(static_cast<std::uint64_t>(spec.scheme));
   h.word(spec.buffer_capacity);
@@ -67,6 +80,18 @@ std::string validate(const JobSpec& spec) {
     why << "Sink::kShardedStore requires store_dir";
   } else if (spec.max_attempts < 1) {
     why << "max_attempts must be >= 1";
+  } else if (const core::Engine* engine =
+                 core::EngineRegistry::instance().find(spec.engine);
+             engine == nullptr) {
+    why << "unknown engine '" << spec.engine << "' (registered: "
+        << core::EngineRegistry::instance().names() << ")";
+  } else if (!engine->capabilities().multi_rank && spec.ranks > 1) {
+    why << "engine '" << spec.engine << "' is single-rank (got ranks = "
+        << spec.ranks << ")";
+  } else if (!engine->capabilities().fault_tolerance &&
+             (spec.fault_plan.active() || spec.reliable)) {
+    why << "engine '" << spec.engine
+        << "' does not support fault injection or reliable transport";
   }
   return why.str();
 }

@@ -38,6 +38,12 @@ struct JobSpec {
   PaConfig config;
 
   // Runtime shape (the ParallelOptions subset a service client may set).
+  /// Generation engine (core/engine/engine.h): "mps", "commfree",
+  /// "seq-copy", "seq-bb". Part of spec_hash — engines are only
+  /// distribution-equivalent, not bitwise-equivalent, so outputs of
+  /// different engines are different cacheable identities. validate()
+  /// rejects unknown names and capability mismatches at submit.
+  std::string engine = "mps";
   int ranks = 4;
   partition::Scheme scheme = partition::Scheme::kRrp;
   std::size_t buffer_capacity = 256;
@@ -78,10 +84,11 @@ struct JobSpec {
   std::int64_t rto_max_ms = 400;
 };
 
-/// Canonical FNV-1a identity of the graph a spec generates: config fields
-/// plus the runtime knobs that can shape x > 1 output (ranks, scheme,
-/// buffering). Stable across processes and platforms; versioned by a domain
-/// tag so the hash space can be rotated if the schema ever changes.
+/// Canonical FNV-1a identity of the graph a spec generates: config fields,
+/// the engine, plus the runtime knobs that can shape x > 1 output (ranks,
+/// scheme, buffering). Stable across processes and platforms; versioned by a
+/// domain tag so the hash space can be rotated if the schema ever changes
+/// (the engine field rotated it to '02).
 [[nodiscard]] std::uint64_t spec_hash(const JobSpec& spec);
 
 /// Spec admission check: empty string = admissible, otherwise the reason

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/engine/engine.h"
 #include "core/generate.h"
 #include "graph/sharded_io.h"
 #include "graph/varint_io.h"
@@ -385,6 +386,7 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   const JobSpec& spec = rec->spec;  // immutable once admitted
   const std::uint32_t attempt = rec->attempts;  // bumped at dispatch
   core::ParallelOptions opt;
+  opt.engine = spec.engine;
   opt.ranks = spec.ranks;
   opt.scheme = spec.scheme;
   opt.buffer_capacity = spec.buffer_capacity;
@@ -405,7 +407,15 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   // resume from whatever the failed attempts checkpointed, after
   // quarantining any file that no longer verifies (a corrupt checkpoint
   // degrades that rank to a cold start, never to restored garbage).
-  const std::string ckpt_dir = job_checkpoint_dir(id);
+  // Capability gating: an engine without checkpoint support would reject a
+  // wired checkpoint_dir at generate(), so its jobs degrade gracefully —
+  // every retry attempt regenerates from scratch (spec.engine was validated
+  // at submit, so the lookup cannot miss).
+  const core::Engine* engine = core::EngineRegistry::instance().find(spec.engine);
+  const bool can_checkpoint =
+      engine != nullptr && engine->capabilities().checkpointing;
+  const std::string ckpt_dir =
+      can_checkpoint ? job_checkpoint_dir(id) : std::string{};
   if (!ckpt_dir.empty()) {
     if (attempt == 1) {
       std::error_code ec;

@@ -1,0 +1,325 @@
+// Cross-engine equivalence (ISSUE 9): every registered engine, driven
+// through the core::generate() facade, must sample the same degree
+// distribution as the sequential copy-model oracle — KS distance below the
+// two-sample critical value at P in {1, 2, 4, 7}, with capability-gated
+// skips for single-rank engines. The communication-free engine is pinned
+// harder: bitwise-identical output to the oracle for every P and scheme,
+// with identically zero request/resolved message volume, and a power-law
+// degree exponent in the preferential-attachment range.
+//
+// When PAGEN_ENGINE_REPORT names a file, the KS sweep also writes the
+// per-engine KS / message-volume report that the engine-equivalence CI job
+// uploads as an artifact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ks_distance.h"
+#include "analysis/powerlaw_fit.h"
+#include "baseline/copy_model_seq.h"
+#include "core/engine/engine.h"
+#include "core/generate.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
+
+namespace pagen::core {
+namespace {
+
+constexpr int kRankSweep[] = {1, 2, 4, 7};
+
+graph::EdgeList normalized(graph::EdgeList edges) {
+  graph::normalize(edges);
+  return edges;
+}
+
+PaConfig oracle_config() {
+  PaConfig cfg;
+  cfg.n = 20000;
+  cfg.x = 4;
+  cfg.p = 0.5;  // the copy model at p = 1/2 is exact preferential attachment
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(EngineRegistry, ListsTheBuiltinEngines) {
+  auto& reg = EngineRegistry::instance();
+  for (const char* name : {"mps", "commfree", "seq-copy", "seq-bb"}) {
+    const Engine* engine = reg.find(name);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_EQ(engine->name(), name);
+    EXPECT_FALSE(engine->description().empty());
+  }
+  EXPECT_EQ(reg.find("no-such-engine"), nullptr);
+  EXPECT_GE(reg.engines().size(), 4U);
+}
+
+TEST(EngineRegistry, RequireNamesTheAlternativesOnUnknown) {
+  try {
+    (void)EngineRegistry::instance().require("warp-drive");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown engine 'warp-drive'"), std::string::npos);
+    EXPECT_NE(what.find("mps"), std::string::npos);
+    EXPECT_NE(what.find("commfree"), std::string::npos);
+  }
+}
+
+TEST(EngineEquivalence, KsDistanceVsSequentialOracleForEveryEngine) {
+  const PaConfig cfg = oracle_config();
+  const baseline::GeneralResult oracle = baseline::copy_model_general(cfg);
+  const std::vector<Count> oracle_deg =
+      graph::degree_sequence(oracle.edges, cfg.n);
+
+  std::ostringstream report;
+  report << "{\n  \"config\": {\"n\": " << cfg.n << ", \"x\": " << cfg.x
+         << ", \"p\": " << cfg.p << ", \"seed\": " << cfg.seed
+         << "},\n  \"engines\": [\n";
+  bool first_row = true;
+
+  for (const Engine* engine : EngineRegistry::instance().engines()) {
+    const EngineCaps caps = engine->capabilities();
+    for (const int ranks : kRankSweep) {
+      if (ranks > 1 && !caps.multi_rank) continue;  // capability-gated skip
+
+      ParallelOptions opt;
+      opt.engine = std::string(engine->name());
+      opt.ranks = ranks;
+      const ParallelResult result = generate(cfg, opt);
+      const std::vector<Count> deg =
+          graph::degree_sequence(result.edges, cfg.n);
+
+      const double ks = analysis::ks_distance(deg, oracle_deg);
+      const double critical =
+          analysis::ks_critical_value(deg.size(), oracle_deg.size());
+      EXPECT_LE(ks, critical)
+          << "engine=" << engine->name() << " P=" << ranks;
+
+      const RankLoad total = merge_across_ranks(result.loads);
+      EXPECT_EQ(total.edges, result.total_edges);
+      if (!first_row) report << ",\n";
+      first_row = false;
+      report << "    {\"engine\": \"" << engine->name()
+             << "\", \"ranks\": " << ranks << ", \"ks\": " << ks
+             << ", \"ks_critical\": " << critical
+             << ", \"requests_sent\": " << total.requests_sent
+             << ", \"resolved_sent\": " << total.resolved_sent
+             << ", \"total_messages\": " << total.total_messages()
+             << ", \"edges\": " << total.edges << "}";
+    }
+  }
+  report << "\n  ]\n}\n";
+
+  if (const char* path = std::getenv("PAGEN_ENGINE_REPORT")) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << report.str();
+  }
+}
+
+// The commfree engine resolves in the canonical sequential order, so it
+// reproduces the oracle bitwise for EVERY rank count and scheme — including
+// x > 1 multi-rank, where the mps engine is only distribution-equivalent
+// (docs/serving.md §5).
+TEST(EngineEquivalence, CommFreeBitwiseMatchesOracleX1) {
+  PaConfig cfg;
+  cfg.n = 6000;
+  cfg.x = 1;
+  cfg.p = 0.5;
+  cfg.seed = 3;
+  const std::vector<NodeId> oracle = baseline::copy_model_targets(cfg);
+
+  for (const int ranks : kRankSweep) {
+    for (const auto scheme :
+         {partition::Scheme::kRrp, partition::Scheme::kUcp}) {
+      ParallelOptions opt;
+      opt.engine = "commfree";
+      opt.ranks = ranks;
+      opt.scheme = scheme;
+      const ParallelResult result = generate(cfg, opt);
+      EXPECT_EQ(result.targets, oracle)
+          << "P=" << ranks << " scheme=" << partition::to_string(scheme);
+      EXPECT_EQ(result.total_edges, cfg.n - 1);
+    }
+  }
+}
+
+TEST(EngineEquivalence, CommFreeBitwiseMatchesOracleXk) {
+  PaConfig cfg;
+  cfg.n = 3000;
+  cfg.x = 5;
+  cfg.p = 0.4;
+  cfg.seed = 11;
+  const graph::EdgeList oracle =
+      normalized(baseline::copy_model_general(cfg).edges);
+
+  for (const int ranks : kRankSweep) {
+    ParallelOptions opt;
+    opt.engine = "commfree";
+    opt.ranks = ranks;
+    const ParallelResult result = generate(cfg, opt);
+    EXPECT_EQ(normalized(result.edges), oracle) << "P=" << ranks;
+  }
+}
+
+TEST(EngineEquivalence, CommFreeRunsWithZeroMessageVolume) {
+  const PaConfig cfg = oracle_config();
+
+  ParallelOptions opt;
+  opt.engine = "commfree";
+  opt.ranks = 7;
+  const ParallelResult result = generate(cfg, opt);
+  ASSERT_EQ(result.loads.size(), 7U);
+  for (const RankLoad& load : result.loads) {
+    EXPECT_EQ(load.requests_sent, 0U);
+    EXPECT_EQ(load.requests_received, 0U);
+    EXPECT_EQ(load.resolved_sent, 0U);
+    EXPECT_EQ(load.resolved_received, 0U);
+    EXPECT_EQ(load.queued, 0U);
+    EXPECT_EQ(load.max_queue_depth, 0U);
+  }
+  EXPECT_EQ(merge_across_ranks(result.loads).total_messages(), 0U);
+
+  // Same spec through mps for contrast: the protocol *does* move messages.
+  ParallelOptions mps_opt;
+  mps_opt.ranks = 7;
+  const ParallelResult via_mps = generate(cfg, mps_opt);
+  EXPECT_GT(merge_across_ranks(via_mps.loads).total_messages(), 0U);
+}
+
+TEST(EngineEquivalence, CommFreeDegreeDistributionIsPowerLaw) {
+  PaConfig cfg;
+  cfg.n = 50000;
+  cfg.x = 4;
+  cfg.p = 0.5;
+  cfg.seed = 13;
+
+  ParallelOptions opt;
+  opt.engine = "commfree";
+  opt.ranks = 4;
+  const ParallelResult result = generate(cfg, opt);
+  const std::vector<Count> deg = graph::degree_sequence(result.edges, cfg.n);
+  const analysis::PowerLawFit fit = analysis::fit_gamma_mle(deg, 4);
+  // Preferential attachment's gamma = 3 (paper Fig. 3); MLE on a finite
+  // sample lands near it.
+  EXPECT_GT(fit.gamma, 2.5);
+  EXPECT_LT(fit.gamma, 3.5);
+}
+
+TEST(EngineCapabilities, DeclaredMatrixMatchesTheBackends) {
+  auto& reg = EngineRegistry::instance();
+  const EngineCaps mps = reg.require("mps").capabilities();
+  EXPECT_TRUE(mps.checkpointing);
+  EXPECT_TRUE(mps.fault_tolerance);
+  EXPECT_TRUE(mps.multi_rank);
+  EXPECT_EQ(mps.determinism, Determinism::kBitwiseX1);
+
+  const EngineCaps commfree = reg.require("commfree").capabilities();
+  EXPECT_FALSE(commfree.checkpointing);
+  EXPECT_FALSE(commfree.fault_tolerance);
+  EXPECT_FALSE(commfree.delivery_hook);
+  EXPECT_TRUE(commfree.multi_rank);
+  EXPECT_EQ(commfree.determinism, Determinism::kBitwise);
+
+  for (const char* seq : {"seq-copy", "seq-bb"}) {
+    EXPECT_FALSE(reg.require(seq).capabilities().multi_rank) << seq;
+  }
+}
+
+TEST(EngineCapabilities, GenerateRejectsUnsupportedOptionsLoudly) {
+  PaConfig cfg;
+  cfg.n = 100;
+  cfg.x = 1;
+  cfg.seed = 1;
+
+  {
+    // No checkpoint support: a checkpoint_dir must be rejected with a clear
+    // error, never silently ignored.
+    ParallelOptions opt;
+    opt.engine = "commfree";
+    opt.ranks = 2;
+    opt.checkpoint_dir = "/tmp/does-not-matter";
+    try {
+      (void)generate(cfg, opt);
+      FAIL() << "expected CheckError";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("commfree"), std::string::npos);
+      EXPECT_NE(what.find("checkpoint"), std::string::npos);
+    }
+  }
+  {
+    ParallelOptions opt;
+    opt.engine = "commfree";
+    opt.resume = true;
+    EXPECT_THROW((void)generate(cfg, opt), CheckError);
+  }
+  {
+    ParallelOptions opt;
+    opt.engine = "commfree";
+    opt.reliable = true;
+    EXPECT_THROW((void)generate(cfg, opt), CheckError);
+  }
+  {
+    ParallelOptions opt;
+    opt.engine = "seq-copy";
+    opt.ranks = 2;
+    try {
+      (void)generate(cfg, opt);
+      FAIL() << "expected CheckError";
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("single-rank"), std::string::npos);
+    }
+  }
+  {
+    ParallelOptions opt;
+    opt.engine = "no-such-engine";
+    EXPECT_THROW((void)generate(cfg, opt), CheckError);
+  }
+}
+
+TEST(EngineCapabilities, SupportedOptionShapesStillRun) {
+  PaConfig cfg;
+  cfg.n = 400;
+  cfg.x = 1;
+  cfg.seed = 9;
+
+  // Single-rank sequential engines produce the x = 1 gather shape.
+  for (const char* name : {"seq-copy", "seq-bb"}) {
+    ParallelOptions opt;
+    opt.engine = name;
+    opt.ranks = 1;
+    const ParallelResult result = generate(cfg, opt);
+    EXPECT_EQ(result.total_edges, cfg.n - 1) << name;
+    ASSERT_EQ(result.targets.size(), cfg.n) << name;
+    EXPECT_EQ(result.targets[1], 0U) << name;
+    ASSERT_EQ(result.loads.size(), 1U) << name;
+    EXPECT_EQ(result.loads[0].total_messages(), 0U) << name;
+  }
+
+  // commfree honors the streaming sinks and shard surface.
+  std::atomic<Count> streamed{0};
+  ParallelOptions opt;
+  opt.engine = "commfree";
+  opt.ranks = 3;
+  opt.keep_shards = true;
+  opt.edge_batch_capacity = 64;
+  opt.edge_batch_sink = [&](Rank, std::span<const graph::Edge> batch) {
+    streamed += batch.size();
+  };
+  const ParallelResult result = generate(cfg, opt);
+  EXPECT_EQ(streamed.load(), result.total_edges);
+  ASSERT_EQ(result.shards.size(), 3U);
+  Count sharded = 0;
+  for (const auto& shard : result.shards) sharded += shard.size();
+  EXPECT_EQ(sharded, result.total_edges);
+}
+
+}  // namespace
+}  // namespace pagen::core

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/generate.h"
+#include "core/parallel_pa_general.h"
 #include "graph/edge_list.h"
 
 namespace pagen::core {

@@ -31,6 +31,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/generate.h"
 #include "core/parallel_pa.h"
 #include "core/parallel_pa_general.h"
 #include "graph/edge_list.h"
@@ -136,7 +137,8 @@ std::string fresh_dir(std::size_t case_idx) {
   return dir;
 }
 
-core::ParallelResult run_case(const GoldenCase& c, std::size_t idx) {
+core::ParallelResult run_case(const GoldenCase& c, std::size_t idx,
+                              bool via_facade = false) {
   const PaConfig cfg{.n = c.n, .x = c.x, .p = c.p, .seed = c.seed};
   core::ParallelOptions opt;
   opt.ranks = c.ranks;
@@ -150,6 +152,7 @@ core::ParallelResult run_case(const GoldenCase& c, std::size_t idx) {
     opt.checkpoint_every = 256;
   }
   if (c.checkpoint) opt.checkpoint_dir = fresh_dir(idx);
+  if (via_facade) return core::generate(cfg, opt);  // engine defaults to mps
   return c.x == 1 ? core::generate_pa_x1(cfg, opt)
                   : core::generate_pa_general(cfg, opt);
 }
@@ -172,6 +175,22 @@ TEST(GenrtGolden, OutputsMatchPreRefactorHashes) {
       EXPECT_GE(result.respawns, 1u) << "case " << i
                                      << ": the scripted crash did not fire";
     }
+  }
+}
+
+// The same table routed through the core::generate() facade with the default
+// "mps" engine (ISSUE 9): introducing the engine layer must be bitwise
+// invisible — every golden hash comes out unchanged through the dispatcher.
+TEST(GenrtGolden, FacadeRoutedMpsEngineMatchesTheSameHashes) {
+  for (std::size_t i = 0; i < std::size(kGolden); ++i) {
+    const GoldenCase& c = kGolden[i];
+    // Distinct checkpoint-dir namespace so the direct-route test's dirs are
+    // never reused mid-suite.
+    const auto result = run_case(c, i + 200, /*via_facade=*/true);
+    const std::uint64_t th = c.x == 1 ? hash_targets(result.targets) : 0;
+    EXPECT_EQ(th, c.targets_hash) << "facade targets hash drifted, case " << i;
+    EXPECT_EQ(hash_edges(result.edges), c.edges_hash)
+        << "facade edge hash drifted, case " << i;
   }
 }
 

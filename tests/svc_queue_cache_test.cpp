@@ -61,6 +61,51 @@ TEST(SpecHash, CoversEveryOutputShapingField) {
   EXPECT_NE(spec_hash(s), h);
 }
 
+// The engine participates in the hash (docs/serving.md §1): engines are only
+// distribution-equivalent, so a commfree output must never satisfy a cache
+// or store probe for an mps spec — and even a single flipped byte in the
+// engine name rotates the identity.
+TEST(SpecHash, EngineParticipatesInTheHash) {
+  const JobSpec base = small_spec();
+  const std::uint64_t h = spec_hash(base);
+  EXPECT_EQ(base.engine, "mps") << "default engine";
+
+  JobSpec s = base;
+  s.engine = "commfree";
+  EXPECT_NE(spec_hash(s), h);
+  s.engine = "seq-copy";
+  EXPECT_NE(spec_hash(s), h);
+
+  // Byte-flip: same length, one byte differs. spec_hash deliberately does
+  // not validate names, so unregistered probes are fine here.
+  s = base;
+  s.engine = "mpt";
+  EXPECT_NE(spec_hash(s), h);
+}
+
+TEST(SpecValidate, EngineMustBeRegisteredAndCompatible) {
+  JobSpec s = small_spec();
+  s.engine = "commfree";
+  EXPECT_EQ(validate(s), "");
+
+  s = small_spec();
+  s.engine = "no-such-engine";
+  EXPECT_NE(validate(s), "") << "unknown engine";
+
+  s = small_spec();
+  s.engine = "seq-copy";
+  s.ranks = 2;
+  EXPECT_NE(validate(s), "") << "single-rank engine with ranks > 1";
+  s.ranks = 1;
+  EXPECT_EQ(validate(s), "");
+
+  s = small_spec();
+  s.engine = "commfree";
+  s.ranks = 2;
+  s.reliable = true;
+  EXPECT_NE(validate(s), "") << "commfree has no reliable transport";
+}
+
 TEST(SpecHash, IgnoresSchedulingAndDelivery) {
   const JobSpec base = small_spec();
   JobSpec s = base;
