@@ -20,8 +20,10 @@
 #include "obs/config.h"
 #include "obs/session.h"
 #include "partition/partition.h"
+#include "graph/varint_io.h"
 #include "rng/counter_rng.h"
 #include "rng/xoshiro.h"
+#include "store/format.h"
 #include "util/harmonic.h"
 
 namespace {
@@ -320,6 +322,73 @@ void BM_DriverPumpCausalOn(benchmark::State& state) {
                           static_cast<std::int64_t>(kPumpNodes));
 }
 BENCHMARK(BM_DriverPumpCausalOn)->Unit(benchmark::kMillisecond);
+
+// --- Compressed-store codec costs (src/store/, docs/storage.md). These
+// are the per-edge unit costs behind the massive_edges bench: the varint
+// primitive both the legacy edge files and the block codec sit on, and a
+// full block encode+decode round trip including both checksums.
+
+/// Mixed-width values like the zigzag deltas of a PA emission stream:
+/// mostly small (consecutive own nodes), occasionally large (chain jumps).
+std::vector<std::uint64_t> varint_corpus(std::size_t count) {
+  rng::Xoshiro256pp rng(7);
+  std::vector<std::uint64_t> values(count);
+  for (auto& v : values) v = rng() >> (rng() % 56);
+  return values;
+}
+
+void BM_VarintEncode(benchmark::State& state) {
+  const auto values = varint_corpus(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    for (const std::uint64_t v : values) graph::put_varint(bytes, v);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VarintEncode)->Arg(65536);
+
+void BM_VarintDecode(benchmark::State& state) {
+  const auto values = varint_corpus(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> bytes;
+  for (const std::uint64_t v : values) graph::put_varint(bytes, v);
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    std::uint64_t sum = 0;
+    while (pos < bytes.size()) sum += graph::get_varint(bytes, pos);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VarintDecode)->Arg(65536);
+
+void BM_EdgeBlockRoundTrip(benchmark::State& state) {
+  // One store block of PA-shaped edges: ascending u, targets scattered
+  // below — the distribution the delta codec is tuned for.
+  const auto block_edges = static_cast<std::size_t>(state.range(0));
+  rng::Xoshiro256pp rng(11);
+  graph::EdgeList edges(block_edges);
+  for (std::size_t i = 0; i < block_edges; ++i) {
+    const NodeId u = static_cast<NodeId>(1000 + i);
+    edges[i] = {u, rng() % u};
+  }
+  std::vector<std::uint8_t> payload;
+  graph::EdgeList decoded;
+  for (auto _ : state) {
+    const store::BlockHeader header = store::encode_block(edges, payload);
+    decoded.clear();
+    store::decode_block(header, payload, decoded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["bytes_per_edge"] = benchmark::Counter(
+      static_cast<double>(payload.size()) / static_cast<double>(block_edges));
+}
+BENCHMARK(BM_EdgeBlockRoundTrip)->Arg(65536);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "core/distributed_bfs.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "mps/bsp.h"
@@ -24,8 +25,15 @@ DistributedBfsResult distributed_bfs(const std::vector<graph::EdgeList>& shards,
                                      NodeId n, partition::Scheme scheme,
                                      NodeId source) {
   PAGEN_CHECK(!shards.empty());
+  return distributed_bfs(graph::make_edge_source(n, shards), scheme, source);
+}
+
+DistributedBfsResult distributed_bfs(const graph::EdgeSource& edges,
+                                     partition::Scheme scheme, NodeId source) {
+  PAGEN_CHECK(edges.num_shards > 0);
+  const NodeId n = edges.num_nodes;
   PAGEN_CHECK(source < n);
-  const int ranks = static_cast<int>(shards.size());
+  const int ranks = edges.num_shards;
   const auto part = partition::make_partition(scheme, n, ranks);
 
   DistributedBfsResult result;
@@ -40,17 +48,19 @@ DistributedBfsResult distributed_bfs(const std::vector<graph::EdgeList>& shards,
     std::vector<std::vector<NodeId>> adjacency(my_nodes);
     {
       mps::SendBuffer<Incidence> buf(comm, kTagIncidence, 512);
-      for (const graph::Edge& e : shards[static_cast<std::size_t>(me)]) {
-        for (const auto& [mine, other] :
-             {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
-          const Rank owner = part->owner(mine);
-          if (owner == me) {
-            adjacency[part->local_index(mine)].push_back(other);
-          } else {
-            buf.add(owner, {mine, other});
+      edges.visit_shard(me, [&](std::span<const graph::Edge> batch) {
+        for (const graph::Edge& e : batch) {
+          for (const auto& [mine, other] :
+               {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+            const Rank owner = part->owner(mine);
+            if (owner == me) {
+              adjacency[part->local_index(mine)].push_back(other);
+            } else {
+              buf.add(owner, {mine, other});
+            }
           }
         }
-      }
+      });
       mps::bsp_exchange<Incidence>(comm, buf, kTagIncidence,
                                    [&](const Incidence& inc) {
                                      adjacency[part->local_index(inc.local)]

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "graph/edge_source.h"
 #include "partition/partition.h"
 #include "util/types.h"
 
@@ -31,5 +32,9 @@ struct DistributedBfsResult {
 [[nodiscard]] DistributedBfsResult distributed_bfs(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme, NodeId source);
+
+/// Streaming variant over any EdgeSource (in-memory or compressed store).
+[[nodiscard]] DistributedBfsResult distributed_bfs(
+    const graph::EdgeSource& edges, partition::Scheme scheme, NodeId source);
 
 }  // namespace pagen::core

@@ -1,5 +1,8 @@
 #include "core/distributed_cc.h"
 
+#include <span>
+#include <utility>
+
 #include "mps/bsp.h"
 #include "mps/engine.h"
 #include "util/error.h"
@@ -26,8 +29,15 @@ DistributedCcResult distributed_connected_components(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme) {
   PAGEN_CHECK(!shards.empty());
-  const int ranks = static_cast<int>(shards.size());
-  const auto part = partition::make_partition(scheme, n, ranks);
+  return distributed_connected_components(graph::make_edge_source(n, shards),
+                                          scheme);
+}
+
+DistributedCcResult distributed_connected_components(
+    const graph::EdgeSource& source, partition::Scheme scheme) {
+  PAGEN_CHECK(source.num_shards > 0);
+  const int ranks = source.num_shards;
+  const auto part = partition::make_partition(scheme, source.num_nodes, ranks);
 
   DistributedCcResult result;
 
@@ -40,17 +50,19 @@ DistributedCcResult distributed_connected_components(
     std::vector<Incidence> incidence;
     {
       mps::SendBuffer<Incidence> buf(comm, kTagIncidence, 512);
-      for (const graph::Edge& e : shards[static_cast<std::size_t>(me)]) {
-        for (const auto& [mine, other] :
-             {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
-          const Rank owner = part->owner(mine);
-          if (owner == me) {
-            incidence.push_back({mine, other});
-          } else {
-            buf.add(owner, {mine, other});
+      source.visit_shard(me, [&](std::span<const graph::Edge> batch) {
+        for (const graph::Edge& e : batch) {
+          for (const auto& [mine, other] :
+               {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+            const Rank owner = part->owner(mine);
+            if (owner == me) {
+              incidence.push_back({mine, other});
+            } else {
+              buf.add(owner, {mine, other});
+            }
           }
         }
-      }
+      });
       mps::bsp_exchange<Incidence>(
           comm, buf, kTagIncidence,
           [&](const Incidence& inc) { incidence.push_back(inc); });

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "graph/edge_source.h"
 #include "partition/partition.h"
 #include "util/types.h"
 
@@ -31,5 +32,9 @@ struct DistributedCcResult {
 [[nodiscard]] DistributedCcResult distributed_connected_components(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme);
+
+/// Streaming variant over any EdgeSource (in-memory or compressed store).
+[[nodiscard]] DistributedCcResult distributed_connected_components(
+    const graph::EdgeSource& source, partition::Scheme scheme);
 
 }  // namespace pagen::core

@@ -1,6 +1,7 @@
 #include "core/distributed_degree.h"
 
 #include <map>
+#include <span>
 
 #include "mps/bsp.h"
 #include "mps/engine.h"
@@ -18,8 +19,15 @@ DegreeHistogram distributed_degree_distribution(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme) {
   PAGEN_CHECK(!shards.empty());
-  const int ranks = static_cast<int>(shards.size());
-  const auto part = partition::make_partition(scheme, n, ranks);
+  return distributed_degree_distribution(graph::make_edge_source(n, shards),
+                                         scheme);
+}
+
+DegreeHistogram distributed_degree_distribution(
+    const graph::EdgeSource& source, partition::Scheme scheme) {
+  PAGEN_CHECK(source.num_shards > 0);
+  const int ranks = source.num_shards;
+  const auto part = partition::make_partition(scheme, source.num_nodes, ranks);
 
   // Merged histogram, assembled identically on every rank; rank 0's copy is
   // returned. Written once (by the rank-0 thread) after its allgather.
@@ -34,17 +42,18 @@ DegreeHistogram distributed_degree_distribution(
     // Phases 1+2 as one BSP superstep: count local endpoints, ship remote
     // ones, then absorb the increments shipped to us.
     mps::SendBuffer<NodeId> increments(comm, kTagIncrement, 512);
-    for (const graph::Edge& e :
-         shards[static_cast<std::size_t>(me)]) {
-      for (NodeId v : {e.u, e.v}) {
-        const Rank owner = part->owner(v);
-        if (owner == me) {
-          bump(v);
-        } else {
-          increments.add(owner, v);
+    source.visit_shard(me, [&](std::span<const graph::Edge> batch) {
+      for (const graph::Edge& e : batch) {
+        for (NodeId v : {e.u, e.v}) {
+          const Rank owner = part->owner(v);
+          if (owner == me) {
+            bump(v);
+          } else {
+            increments.add(owner, v);
+          }
         }
       }
-    }
+    });
     mps::bsp_exchange<NodeId>(comm, increments, kTagIncrement,
                               [&](const NodeId& v) { bump(v); });
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "graph/edge_source.h"
 #include "partition/partition.h"
 #include "util/types.h"
 
@@ -34,5 +35,11 @@ using DegreeHistogram = std::vector<std::pair<Count, Count>>;
 [[nodiscard]] DegreeHistogram distributed_degree_distribution(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme);
+
+/// Streaming variant: same computation over any EdgeSource — in-memory
+/// shards or a compressed on-disk store (store::ShardedGraphView) — without
+/// ever materializing a shard. One pass per shard.
+[[nodiscard]] DegreeHistogram distributed_degree_distribution(
+    const graph::EdgeSource& source, partition::Scheme scheme);
 
 }  // namespace pagen::core

@@ -1,6 +1,7 @@
 #include "core/distributed_triangles.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "mps/bsp.h"
@@ -42,8 +43,15 @@ DistributedTriangleResult distributed_triangle_count(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme) {
   PAGEN_CHECK(!shards.empty());
-  const int ranks = static_cast<int>(shards.size());
-  const auto part = partition::make_partition(scheme, n, ranks);
+  return distributed_triangle_count(graph::make_edge_source(n, shards),
+                                    scheme);
+}
+
+DistributedTriangleResult distributed_triangle_count(
+    const graph::EdgeSource& source, partition::Scheme scheme) {
+  PAGEN_CHECK(source.num_shards > 0);
+  const int ranks = source.num_shards;
+  const auto part = partition::make_partition(scheme, source.num_nodes, ranks);
 
   DistributedTriangleResult result;
 
@@ -55,17 +63,19 @@ DistributedTriangleResult distributed_triangle_count(
     std::vector<std::vector<NodeId>> adjacency(my_nodes);
     {
       mps::SendBuffer<Incidence> buf(comm, kTagIncidence, 512);
-      for (const graph::Edge& e : shards[static_cast<std::size_t>(me)]) {
-        for (const auto& [mine, other] :
-             {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
-          const Rank owner = part->owner(mine);
-          if (owner == me) {
-            adjacency[part->local_index(mine)].push_back(other);
-          } else {
-            buf.add(owner, {mine, other});
+      source.visit_shard(me, [&](std::span<const graph::Edge> batch) {
+        for (const graph::Edge& e : batch) {
+          for (const auto& [mine, other] :
+               {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+            const Rank owner = part->owner(mine);
+            if (owner == me) {
+              adjacency[part->local_index(mine)].push_back(other);
+            } else {
+              buf.add(owner, {mine, other});
+            }
           }
         }
-      }
+      });
       mps::bsp_exchange<Incidence>(comm, buf, kTagIncidence,
                                    [&](const Incidence& inc) {
                                      adjacency[part->local_index(inc.local)]

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "graph/edge_source.h"
 #include "partition/partition.h"
 #include "util/types.h"
 
@@ -27,5 +28,9 @@ struct DistributedTriangleResult {
 [[nodiscard]] DistributedTriangleResult distributed_triangle_count(
     const std::vector<graph::EdgeList>& shards, NodeId n,
     partition::Scheme scheme);
+
+/// Streaming variant over any EdgeSource (in-memory or compressed store).
+[[nodiscard]] DistributedTriangleResult distributed_triangle_count(
+    const graph::EdgeSource& source, partition::Scheme scheme);
 
 }  // namespace pagen::core

@@ -24,8 +24,12 @@
 // for x > 1 — for EVERY rank count and partition scheme. This is strictly
 // stronger than the mps engine, whose x > 1 multi-rank edge set depends on
 // message timing (docs/serving.md §5).
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -42,6 +46,7 @@
 #include "mps/engine.h"
 #include "obs/session.h"
 #include "partition/partition.h"
+#include "store/ext_array.h"
 #include "util/error.h"
 #include "util/types.h"
 
@@ -54,36 +59,88 @@ constexpr std::uint64_t kMaxAttempts = 100000;
 /// x = 1 re-derivation: F_t follows the copy chain t -> k -> k' ... until a
 /// direct draw (or a memoized node) ends it; every node on the walked path
 /// shares the chain's final value, so one walk resolves the whole path.
+///
+/// The memo is purely an accelerator — a chain walk terminates without it,
+/// and every memoized value is the chain's *final* value — so bounding it
+/// cannot change the output. memo_budget_bytes > 0 switches the unbounded
+/// map for a direct-mapped cache of that many bytes (the state_spill
+/// capability for x = 1: bounded RSS at any n, no disk needed; a miss
+/// costs one expected-O(1/p) re-walk).
 class X1Deriver {
  public:
-  explicit X1Deriver(const PaConfig& config) : draws_(config) {
-    memo_.emplace(NodeId{1}, NodeId{0});  // bootstrap edge (1, 0)
+  X1Deriver(const PaConfig& config, std::uint64_t memo_budget_bytes)
+      : draws_(config) {
+    if (memo_budget_bytes > 0) {
+      // The memo never holds more than n entries, so small graphs get a
+      // right-sized table instead of the whole budget up front.
+      const auto slots = static_cast<std::size_t>(std::min<std::uint64_t>(
+          std::max<std::uint64_t>(memo_budget_bytes / sizeof(Slot), 1),
+          config.n));
+      cache_.assign(slots, Slot{kNil, kNil});
+    } else {
+      memo_.emplace(NodeId{1}, NodeId{0});  // bootstrap edge (1, 0)
+    }
   }
 
   [[nodiscard]] NodeId value(NodeId t) {
     path_.clear();
     NodeId val = kNil;
     for (NodeId cur = t;;) {
-      if (const auto it = memo_.find(cur); it != memo_.end()) {
-        val = it->second;
-        break;
-      }
+      if (lookup(cur, val)) break;
       const NodeId k = draws_.pick_k(cur, 0, 0);
       if (draws_.pick_direct(cur, 0, 0)) {
         val = k;
-        memo_.emplace(cur, k);
+        remember(cur, k);
         break;
       }
       path_.push_back(cur);
-      cur = k;  // k in [1, cur-1] and memo_[1] is preset: the walk terminates
+      cur = k;  // k in [1, cur-1] and node 1 always hits: the walk terminates
     }
-    for (const NodeId u : path_) memo_.emplace(u, val);
+    for (const NodeId u : path_) remember(u, val);
     return val;
   }
 
  private:
+  struct Slot {
+    NodeId key;
+    NodeId val;
+  };
+
+  bool lookup(NodeId u, NodeId& val) {
+    if (u == 1) {  // bootstrap edge (1, 0) — never evictable
+      val = 0;
+      return true;
+    }
+    if (cache_.empty()) {
+      const auto it = memo_.find(u);
+      if (it == memo_.end()) return false;
+      val = it->second;
+      return true;
+    }
+    const Slot& slot = cache_[slot_index(u)];
+    if (slot.key != u) return false;
+    val = slot.val;
+    return true;
+  }
+
+  void remember(NodeId u, NodeId val) {
+    if (u == 1) return;
+    if (cache_.empty()) {
+      memo_.emplace(u, val);
+    } else {
+      cache_[slot_index(u)] = {u, val};  // direct-mapped: collision evicts
+    }
+  }
+
+  [[nodiscard]] std::size_t slot_index(NodeId u) const {
+    std::uint64_t h = u * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h % cache_.size());
+  }
+
   DrawSchema draws_;
   std::unordered_map<NodeId, NodeId> memo_;
+  std::vector<Slot> cache_;
   std::vector<NodeId> path_;
 };
 
@@ -91,16 +148,32 @@ class X1Deriver {
 /// baseline::copy_model_general. A row suspends when its copy path needs a
 /// node whose row is not derived yet; dependencies are strictly smaller
 /// (pick_k range [x, u-1]), so the explicit stack never cycles.
+///
+/// With a spill path (the state_spill capability), *completed* rows page
+/// out to a store::ExternalArray keyed u * x + e — completed rows are
+/// immutable and never contain kNil, so the fill value doubles as the
+/// "not derived yet" marker — and only in-progress rows stay in the map.
+/// Peak RSS is the spill page-cache budget plus the suspended-row
+/// frontier, instead of every row ever derived; the derivation order, and
+/// therefore the output, is bitwise-unchanged.
 class XkDeriver {
  public:
-  explicit XkDeriver(const PaConfig& config)
-      : draws_(config), x_(config.x) {}
+  XkDeriver(const PaConfig& config, const std::string& spill_path,
+            std::uint64_t spill_budget_bytes)
+      : draws_(config), x_(config.x) {
+    if (!spill_path.empty()) {
+      spill_.emplace(spill_path, config.n * x_, kNil, spill_budget_bytes);
+    }
+  }
 
   /// The fully resolved row of node t (t >= x). Reference stays valid until
   /// the next node_row call.
   [[nodiscard]] const std::vector<NodeId>& node_row(NodeId t) {
     ensure(t);
-    return rows_.find(t)->second.v;
+    if (!spill_) return rows_.find(t)->second.v;
+    row_buf_.resize(x_);
+    for (NodeId e = 0; e < x_; ++e) row_buf_[e] = spill_->get(t * x_ + e);
+    return row_buf_;
   }
 
   /// Duplicate-retries performed by this deriver (own + re-derived nodes).
@@ -151,9 +224,16 @@ class XkDeriver {
           }
         } else {
           const NodeId l = draws_.pick_l(u, e, r.attempt);
+          NodeId v = kNil;
           const auto dep = rows_.find(k);
-          if (dep == rows_.end() || dep->second.next_e < x_) return k;
-          const NodeId v = dep->second.v[l];
+          if (dep != rows_.end()) {
+            if (dep->second.next_e < x_) return k;
+            v = dep->second.v[l];
+          } else if (spill_ && spill_->get(k * x_) != kNil) {
+            v = spill_->get(k * x_ + l);
+          } else {
+            return k;
+          }
           if (!is_dup(v)) {
             r.v[e] = v;
             break;
@@ -171,12 +251,16 @@ class XkDeriver {
   }
 
   void ensure(NodeId t) {
+    // Spill invariant: rows_ holds only in-progress rows; every completed
+    // row lives in the spill array (slot 0 != kNil marks it derived).
+    if (spill_ && !rows_.contains(t) && spill_->get(t * x_) != kNil) return;
     stack_.clear();
     stack_.push_back(t);
     while (!stack_.empty()) {
       const NodeId u = stack_.back();
       const NodeId dep = advance(row(u), u);
       if (dep == kNil) {
+        if (spill_) evict(u);
         stack_.pop_back();
       } else {
         stack_.push_back(dep);
@@ -184,9 +268,18 @@ class XkDeriver {
     }
   }
 
+  /// Page the completed row out and drop it from the in-RAM map.
+  void evict(NodeId u) {
+    const auto it = rows_.find(u);
+    for (NodeId e = 0; e < x_; ++e) spill_->set(u * x_ + e, it->second.v[e]);
+    rows_.erase(it);
+  }
+
   DrawSchema draws_;
   NodeId x_;
   std::unordered_map<NodeId, Row> rows_;
+  std::optional<store::ExternalArray<NodeId>> spill_;
+  std::vector<NodeId> row_buf_;
   std::vector<NodeId> stack_;
   Count retries_ = 0;
 };
@@ -232,7 +325,8 @@ void derive_rank(const PaConfig& config, const ParallelOptions& options,
   load.nodes = own;
 
   if (config.x == 1) {
-    X1Deriver derive(config);
+    X1Deriver derive(config,
+                     options.spill_dir.empty() ? 0 : options.spill_budget_bytes);
     std::vector<NodeId> values;
     if (options.gather_edges) values.assign(own, kNil);
     for (Count idx = 0; idx < own; ++idx) {
@@ -245,7 +339,12 @@ void derive_rank(const PaConfig& config, const ParallelOptions& options,
     }
     if (options.gather_edges) value_slots[slot] = std::move(values);
   } else {
-    XkDeriver derive(config);
+    const std::string spill_path =
+        options.spill_dir.empty()
+            ? std::string{}
+            : options.spill_dir + "/commfree-rank-" +
+                  std::to_string(comm.rank()) + ".spill";
+    XkDeriver derive(config, spill_path, options.spill_budget_bytes);
     for (Count idx = 0; idx < own; ++idx) {
       if (idx % options.node_batch == 0) check_cancel();
       const NodeId t = part.node_at(comm.rank(), idx);
@@ -282,6 +381,7 @@ class CommFreeEngine final : public Engine {
             .fault_tolerance = false,
             .delivery_hook = false,
             .multi_rank = true,
+            .state_spill = true,
             .determinism = Determinism::kBitwise};
   }
 
@@ -304,6 +404,9 @@ class CommFreeEngine final : public Engine {
 
     if (options.cancel_requested && options.cancel_requested()) {
       throw Cancelled();
+    }
+    if (!options.spill_dir.empty()) {
+      std::filesystem::create_directories(options.spill_dir);
     }
     obs::RankObserver* drv = genrt::driver_observer(options);
     const auto part = genrt::make_run_partition(config.n, options, drv);

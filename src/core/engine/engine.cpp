@@ -83,6 +83,10 @@ void check_engine_options(const Engine& engine, const ParallelOptions& options) 
   PAGEN_CHECK_MSG(caps.delivery_hook || options.delivery_hook == nullptr,
                   "engine '" << engine.name()
                              << "' does not support a delivery hook");
+  PAGEN_CHECK_MSG(caps.state_spill || options.spill_dir.empty(),
+                  "engine '" << engine.name()
+                             << "' does not support external-memory state "
+                                "spill (spill_dir); use commfree");
 }
 
 }  // namespace pagen::core

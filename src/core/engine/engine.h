@@ -50,6 +50,10 @@ struct EngineCaps {
   bool fault_tolerance = false;  ///< honors fault_plan / reliable transport
   bool delivery_hook = false;    ///< honors the mpsmc schedule-control seam
   bool multi_rank = true;        ///< supports ranks > 1
+  /// Honors spill_dir / spill_budget_bytes: per-rank derivation state pages
+  /// to disk under a byte budget, bounding peak RSS at any n
+  /// (docs/storage.md §5).
+  bool state_spill = false;
   Determinism determinism = Determinism::kBitwise;
 };
 

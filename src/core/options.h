@@ -116,6 +116,32 @@ struct ParallelOptions {
   /// (the default) keeps the hook off the hot path entirely.
   std::function<bool()> cancel_requested;
 
+  // --- Out-of-core storage (docs/storage.md) ---
+
+  /// Stream every emitted edge into a compressed sharded store at this
+  /// directory (src/store/), one shard per rank, finalized with the v3
+  /// manifest when the run completes. Engine-independent: generate() wraps
+  /// the batched sink path, so any engine that emits edges feeds the store
+  /// without materializing them. Incompatible with crash injection and
+  /// checkpoint resume — both re-emit restored edges (at-least-once), which
+  /// would duplicate blocks in the store; generate() rejects the combo.
+  std::string store_dir;
+
+  /// Edges per compressed block in the store (the seek / integrity /
+  /// streaming-memory granularity; store::kDefaultBlockEdges).
+  std::size_t store_block_edges = 65536;
+
+  /// Spill per-rank derivation state to files under this directory instead
+  /// of holding it all in RAM, bounding peak RSS at any n. Only engines
+  /// with the state_spill capability honor it (commfree: the x = 1 memo
+  /// becomes a bounded cache, x > 1 completed rows page out through
+  /// store::ExternalArray); generate() rejects it elsewhere. Output is
+  /// bitwise-identical with or without spill.
+  std::string spill_dir;
+
+  /// In-RAM bytes each rank's spilled state may cache (>= one page).
+  std::uint64_t spill_budget_bytes = std::uint64_t{64} << 20;
+
   // --- Robustness (docs/robustness.md) ---
 
   /// Deterministic fault script for the mps transport (mps/fault.h). An

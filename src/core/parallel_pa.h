@@ -58,6 +58,11 @@ struct ParallelResult {
   /// it — the service retry path (ParallelOptions::resume) surfaces this in
   /// the job's flight record.
   Count restored_slots = 0;
+
+  /// Compressed bytes written to ParallelOptions::store_dir (0 when no
+  /// store was requested). store_bytes / total_edges is the bytes-per-edge
+  /// figure BENCH_massive.json tracks.
+  std::uint64_t store_bytes = 0;
 };
 
 /// Run Algorithm 3.1. Requires config.x == 1 and config.n >= 2, and

@@ -1,3 +1,5 @@
+// pagen-lint: legacy-edge-io — the pre-store flat binary format; new
+// on-disk edge bytes go through src/store/ (docs/storage.md).
 #include "graph/io.h"
 
 #include <cstring>

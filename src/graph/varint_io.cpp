@@ -1,3 +1,5 @@
+// pagen-lint: legacy-edge-io — the pre-store whole-file varint format; new
+// on-disk edge bytes go through src/store/ (docs/storage.md).
 #include "graph/varint_io.h"
 
 #include <cstdio>
@@ -23,7 +25,7 @@ void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
   out.push_back(static_cast<std::uint8_t>(value));
 }
 
-std::uint64_t get_varint(const std::vector<std::uint8_t>& buf,
+std::uint64_t get_varint(std::span<const std::uint8_t> buf,
                          std::size_t& pos) {
   std::uint64_t value = 0;
   int shift = 0;

@@ -7,8 +7,10 @@
 // scale where I/O dominates.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,8 +22,9 @@ namespace pagen::graph {
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
 
 /// Decode one varint starting at `pos`; advances `pos`. Throws CheckError
-/// on truncation or overlong encodings (> 10 bytes).
-[[nodiscard]] std::uint64_t get_varint(const std::vector<std::uint8_t>& buf,
+/// on truncation or overlong encodings (> 10 bytes). Vectors convert
+/// implicitly; the span form lets the store's block codec decode slices.
+[[nodiscard]] std::uint64_t get_varint(std::span<const std::uint8_t> buf,
                                        std::size_t& pos);
 
 /// Serialize edges in compressed form. The list is sorted (normalized

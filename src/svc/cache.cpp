@@ -9,6 +9,7 @@
 
 #include "graph/sharded_io.h"
 #include "graph/varint_io.h"
+#include "store/edge_writer.h"
 #include "util/error.h"
 
 namespace pagen::svc {
@@ -63,17 +64,10 @@ void ResultCache::bind_metrics(obs::Counter* hits, obs::Counter* misses,
 
 namespace {
 
-/// FNV-1a over a file's raw bytes; false when the file cannot be read.
+/// FNV-1a over a file's raw bytes (streamed in chunks — store shards can be
+/// multi-GB); false when the file cannot be read.
 bool file_fnv1a(const std::string& path, std::uint64_t& out) {
-  std::vector<std::uint8_t> bytes;
-  if (!graph::try_load_bytes(path, bytes)) return false;
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  out = h;
-  return true;
+  return store::streaming_file_fnv1a(path, out);
 }
 
 /// Manifest file path (mirrors graph/sharded_io.cpp's layout).
@@ -88,17 +82,28 @@ std::string store_marker_path(const std::string& dir) {
 }
 
 void write_store_marker(const std::string& dir, std::uint64_t hash) {
-  const graph::ShardManifest manifest = graph::load_manifest(dir);
+  const bool compressed = store::is_compressed_store(dir);
+  int num_shards = 0;
+  if (compressed) {
+    num_shards = store::load_manifest(dir).num_shards;
+  } else {
+    num_shards = graph::load_manifest(dir).num_shards;
+  }
+  const std::string mpath =
+      compressed ? store::manifest_path(dir) : manifest_path(dir);
   std::ofstream os(store_marker_path(dir), std::ios::trunc);
   PAGEN_CHECK_MSG(os.is_open(),
                   "cannot write store marker in " << dir);
-  os << "pagen.svc.store.v2 " << std::hex << hash << "\n";
+  os << (compressed ? "pagen.svc.store.v3 " : "pagen.svc.store.v2 ")
+     << std::hex << hash << "\n";
   std::uint64_t sum = 0;
-  PAGEN_CHECK_MSG(file_fnv1a(manifest_path(dir), sum),
+  PAGEN_CHECK_MSG(file_fnv1a(mpath, sum),
                   "cannot checksum manifest in " << dir);
   os << "manifest " << std::hex << sum << "\n";
-  for (int r = 0; r < manifest.num_shards; ++r) {
-    PAGEN_CHECK_MSG(file_fnv1a(graph::shard_path(dir, r), sum),
+  for (int r = 0; r < num_shards; ++r) {
+    const std::string spath =
+        compressed ? store::shard_path(dir, r) : graph::shard_path(dir, r);
+    PAGEN_CHECK_MSG(file_fnv1a(spath, sum),
                     "cannot checksum shard " << r << " in " << dir);
     os << "shard " << std::dec << r << " " << std::hex << sum << "\n";
   }
@@ -114,16 +119,24 @@ StoreProbe probe_store(const std::string& dir, const JobSpec& spec) {
   is >> tag >> std::hex >> recorded;
   if (!is) return probe;
   // Legacy v1 markers carry no content checksums and cannot be verified;
-  // treat them as a miss so the store is regenerated under the v2 seal.
-  if (tag != "pagen.svc.store.v2") return probe;
+  // treat them as a miss so the store is regenerated under a current seal.
+  // v2 seals a raw sharded store, v3 a compressed block store — same
+  // marker shape, different manifest/shard file layout underneath.
+  if (tag != "pagen.svc.store.v2" && tag != "pagen.svc.store.v3") {
+    return probe;
+  }
+  const bool compressed = tag == "pagen.svc.store.v3";
   if (recorded != spec_hash(spec)) return probe;  // another spec's store
+  probe.compressed = compressed;
   // The marker claims this spec: from here every defect is corruption.
+  const std::string mpath =
+      compressed ? store::manifest_path(dir) : manifest_path(dir);
   std::ostringstream why;
   std::uint64_t want = 0;
   std::uint64_t got = 0;
   if (!(is >> tag >> std::hex >> want) || tag != "manifest") {
     why << "marker truncated before manifest checksum";
-  } else if (!file_fnv1a(manifest_path(dir), got)) {
+  } else if (!file_fnv1a(mpath, got)) {
     why << "manifest unreadable";
   } else if (got != want) {
     why << "manifest checksum mismatch";
@@ -134,7 +147,9 @@ StoreProbe probe_store(const std::string& dir, const JobSpec& spec) {
         why << "malformed marker shard line";
         break;
       }
-      if (!file_fnv1a(graph::shard_path(dir, shard), got)) {
+      const std::string spath = compressed ? store::shard_path(dir, shard)
+                                           : graph::shard_path(dir, shard);
+      if (!file_fnv1a(spath, got)) {
         why << "shard " << shard << " unreadable";
         break;
       }
@@ -150,9 +165,19 @@ StoreProbe probe_store(const std::string& dir, const JobSpec& spec) {
     return probe;
   }
   try {
-    const graph::ShardManifest manifest = graph::load_manifest(dir);
-    if (manifest.num_nodes == spec.config.n &&
-        manifest.total_edges() == expected_edge_count(spec.config)) {
+    NodeId num_nodes = 0;
+    Count total_edges = 0;
+    if (compressed) {
+      const store::StoreManifest manifest = store::load_manifest(dir);
+      num_nodes = manifest.num_nodes;
+      total_edges = manifest.total_edges();
+    } else {
+      const graph::ShardManifest manifest = graph::load_manifest(dir);
+      num_nodes = manifest.num_nodes;
+      total_edges = manifest.total_edges();
+    }
+    if (num_nodes == spec.config.n &&
+        total_edges == expected_edge_count(spec.config)) {
       probe.match = true;
     } else {
       probe.corrupt = true;

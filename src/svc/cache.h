@@ -73,11 +73,14 @@ class ResultCache {
 /// to the manifest.
 [[nodiscard]] std::string store_marker_path(const std::string& dir);
 
-/// Record that `dir`'s sharded store was produced by a spec hashing to
-/// `hash`. Written after the shards and manifest, so a marker implies a
-/// complete store. The v2 marker seals the store's content: it records an
-/// FNV-1a checksum of the manifest file and of every shard file, so a
-/// later probe detects on-disk corruption instead of serving poison.
+/// Record that `dir`'s store was produced by a spec hashing to `hash`.
+/// Written after the shards and manifest, so a marker implies a complete
+/// store. The marker seals the store's content: it records an FNV-1a
+/// checksum of the manifest file and of every shard file, so a later probe
+/// detects on-disk corruption instead of serving poison. The store type is
+/// auto-detected: a compressed block store (src/store/) gets a v3 marker
+/// over its `store.manifest` and `edges.<r>.pcs` files; a raw sharded
+/// store (graph/sharded_io.h) keeps the v2 marker shape.
 void write_store_marker(const std::string& dir, std::uint64_t hash);
 
 /// Outcome of probing `dir` for a store serving `spec` (docs/robustness.md
@@ -89,6 +92,9 @@ void write_store_marker(const std::string& dir, std::uint64_t hash);
 struct StoreProbe {
   bool match = false;
   bool corrupt = false;
+  /// The marker claims a compressed block store (v3); load through
+  /// store::ShardedGraphView rather than graph::load_all_shards.
+  bool compressed = false;
   std::string detail;  ///< human-readable reason when corrupt
 };
 

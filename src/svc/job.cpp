@@ -76,8 +76,16 @@ std::string validate(const JobSpec& spec) {
     why << "buffer_capacity must be >= 1";
   } else if (spec.node_batch < 1) {
     why << "node_batch must be >= 1";
-  } else if (spec.sink == Sink::kShardedStore && spec.store_dir.empty()) {
-    why << "Sink::kShardedStore requires store_dir";
+  } else if ((spec.sink == Sink::kShardedStore ||
+              spec.sink == Sink::kCompressedStore) &&
+             spec.store_dir.empty()) {
+    why << (spec.sink == Sink::kShardedStore ? "Sink::kShardedStore"
+                                             : "Sink::kCompressedStore")
+        << " requires store_dir";
+  } else if (spec.sink == Sink::kCompressedStore &&
+             spec.fault_plan.has_crash()) {
+    why << "Sink::kCompressedStore cannot run under a crash plan: a "
+           "respawned rank re-emits restored edges, duplicating store blocks";
   } else if (spec.max_attempts < 1) {
     why << "max_attempts must be >= 1";
   } else if (const core::Engine* engine =

@@ -32,6 +32,14 @@ enum class Sink : std::uint8_t {
   kCount,         ///< no edge storage: load statistics / warm-up runs
   kGather,        ///< edges (and the x = 1 targets row) in the JobOutput
   kShardedStore,  ///< per-rank shard files + manifest in store_dir
+  /// Compressed block store (src/store/, docs/storage.md) in store_dir:
+  /// edges stream straight from the generator's sink into delta+varint
+  /// blocks, so the job never materializes its edges, and the result is
+  /// re-loadable under a memory budget (store::ShardedGraphView). Sealed
+  /// with a v3 marker; verified on probe like kShardedStore. Incompatible
+  /// with crash-injection fault plans (re-emission would duplicate
+  /// blocks); retries regenerate from scratch instead of resuming.
+  kCompressedStore,
 };
 
 struct JobSpec {

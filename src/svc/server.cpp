@@ -13,6 +13,8 @@
 #include "graph/sharded_io.h"
 #include "graph/varint_io.h"
 #include "obs/prom.h"
+#include "store/edge_writer.h"
+#include "store/graph_view.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -93,8 +95,9 @@ void flip_byte_in_file(const std::string& path) {
   bytes[bytes.size() / 2] ^= 0x01U;
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os.is_open()) return;
-  os.write(reinterpret_cast<const char*>(bytes.data()),
-           static_cast<std::streamsize>(bytes.size()));
+  os.write(  // pagen-lint: allow(store-format) — chaos corrupts raw bytes
+      reinterpret_cast<const char*>(bytes.data()),
+      static_cast<std::streamsize>(bytes.size()));
 }
 
 /// Like flip_byte_in_file, but a missing/empty target gets a torn garbage
@@ -115,7 +118,7 @@ void rot_checkpoint_file(const std::string& path) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os.is_open()) return;
   const char torn[] = "pagnckp2 torn write";
-  os.write(torn, sizeof(torn) - 1);
+  os.write(torn, sizeof(torn) - 1);  // pagen-lint: allow(store-format)
 }
 
 }  // namespace
@@ -216,11 +219,25 @@ Server::Submitted Server::submit(const JobSpec& spec) {
       try {
         auto out = std::make_shared<JobOutput>();
         out->store_dir = spec.store_dir;
-        out->total_edges = graph::load_manifest(spec.store_dir).total_edges();
-        if (spec.sink == Sink::kGather) {
-          // Shards concatenated in rank order == the gather order of a
-          // fresh run, so a store serve is bitwise-identical to generating.
-          out->edges = graph::load_all_shards(spec.store_dir);
+        if (probe.compressed) {
+          const store::ShardedGraphView view(spec.store_dir);
+          out->total_edges = view.manifest().total_edges();
+          if (spec.sink == Sink::kGather) {
+            // Shards decoded in rank order == the gather order of a fresh
+            // run, so a compressed-store serve is bitwise-identical.
+            out->edges.reserve(out->total_edges);
+            for (int r = 0; r < view.manifest().num_shards; ++r) {
+              const graph::EdgeList shard = view.load_shard(r);
+              out->edges.insert(out->edges.end(), shard.begin(), shard.end());
+            }
+          }
+        } else {
+          out->total_edges = graph::load_manifest(spec.store_dir).total_edges();
+          if (spec.sink == Sink::kGather) {
+            // Shards concatenated in rank order == the gather order of a
+            // fresh run, so a store serve is bitwise-identical to generating.
+            out->edges = graph::load_all_shards(spec.store_dir);
+          }
         }
         store_hits_->add();
         cache_.insert(hash, out);
@@ -282,6 +299,7 @@ bool Server::serves(const JobSpec& spec, const JobOutput& out) {
     case Sink::kGather:
       return !out.edges.empty() || out.total_edges == 0;
     case Sink::kShardedStore:
+    case Sink::kCompressedStore:
       return out.store_dir == spec.store_dir;
   }
   return false;
@@ -393,6 +411,11 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   opt.node_batch = spec.node_batch;
   opt.gather_edges = spec.sink == Sink::kGather;
   opt.keep_shards = spec.sink == Sink::kShardedStore;
+  if (spec.sink == Sink::kCompressedStore) {
+    // Edges stream from the sink straight into the compressed store —
+    // no gather, no kept shards, regardless of graph size.
+    opt.store_dir = spec.store_dir;
+  }
   opt.fault_plan = spec.fault_plan;
   opt.reliable = spec.reliable;
   opt.max_respawns = spec.max_respawns;
@@ -411,9 +434,13 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
   // wired checkpoint_dir at generate(), so its jobs degrade gracefully —
   // every retry attempt regenerates from scratch (spec.engine was validated
   // at submit, so the lookup cannot miss).
+  // kCompressedStore additionally opts out: generate() rejects store_dir +
+  // resume (restored edges would re-enter the store), so its retries are
+  // cold starts by design.
   const core::Engine* engine = core::EngineRegistry::instance().find(spec.engine);
-  const bool can_checkpoint =
-      engine != nullptr && engine->capabilities().checkpointing;
+  const bool can_checkpoint = engine != nullptr &&
+                              engine->capabilities().checkpointing &&
+                              spec.sink != Sink::kCompressedStore;
   const std::string ckpt_dir =
       can_checkpoint ? job_checkpoint_dir(id) : std::string{};
   if (!ckpt_dir.empty()) {
@@ -465,6 +492,18 @@ void Server::run_job(JobId id, const std::shared_ptr<Record>& rec) {
         // Rot a shard *after* the marker sealed the store: the next probe
         // must catch the mismatch and quarantine instead of serving it.
         flip_byte_in_file(graph::shard_path(
+            spec.store_dir, static_cast<int>(id % static_cast<JobId>(
+                                                      spec.ranks))));
+      }
+    } else if (spec.sink == Sink::kCompressedStore) {
+      // generate() already streamed the edges into the store and sealed
+      // the v3 manifest; the marker (auto-detected as v3) seals provenance.
+      write_store_marker(spec.store_dir, rec->hash);
+      out->store_dir = spec.store_dir;
+      if (chaos.storecorrupt > 0.0 &&
+          chaos.svc_roll(kSaltStoreCorrupt, id, attempt) <
+              chaos.storecorrupt) {
+        flip_byte_in_file(store::shard_path(
             spec.store_dir, static_cast<int>(id % static_cast<JobId>(
                                                       spec.ranks))));
       }

@@ -1,0 +1,29 @@
+// Peak resident-set-size probe for bounded-memory claims.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string>
+
+namespace pagen {
+
+/// The process's peak RSS (VmHWM from /proc/self/status) in bytes; 0 when
+/// the proc file is unavailable (non-Linux). The high-water mark is what a
+/// memory-budget claim must be checked against — instantaneous RSS misses
+/// transients.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream is("/proc/self/status");
+  std::string key;
+  while (is >> key) {
+    if (key == "VmHWM:") {
+      std::uint64_t kib = 0;
+      is >> kib;
+      return kib * 1024;
+    }
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return 0;
+}
+
+}  // namespace pagen
